@@ -1,0 +1,199 @@
+(* A command-line driver for the whole stack:
+
+     sanctorum_demo boot     [--backend sanctum|keystone]
+     sanctorum_demo run      [--backend ...] [--count N] [--quantum Q]
+     sanctorum_demo attest   [--backend ...]
+     sanctorum_demo probe    [--backend ...]
+     sanctorum_demo leak     [--backend ...] [--secret S]
+*)
+module Hw = Sanctorum_hw
+module S = Sanctorum.Sm
+open Sanctorum_os
+
+let hex8 s = Sanctorum_util.Hex.encode (String.sub s 0 8)
+
+let backend_conv =
+  Cmdliner.Arg.enum
+    [ ("sanctum", Testbed.Sanctum_backend); ("keystone", Testbed.Keystone_backend) ]
+
+let backend_arg =
+  Cmdliner.Arg.(
+    value
+    & opt backend_conv Testbed.Sanctum_backend
+    & info [ "backend"; "b" ] ~docv:"BACKEND"
+        ~doc:"Isolation backend: $(b,sanctum) or $(b,keystone).")
+
+let exit_prog = Hw.Isa.[ Op_imm (Add, a7, zero, S.Ecall.exit_enclave); Ecall ]
+
+let cmd_boot backend =
+  let tb = Testbed.create ~backend () in
+  let sm = tb.Testbed.sm in
+  Printf.printf "platform        : %s\n" tb.Testbed.platform.Sanctorum_platform.Platform.name;
+  Printf.printf "cores           : %d\n" (Hw.Machine.core_count tb.Testbed.machine);
+  Printf.printf "memory          : %d MiB, %d units of %d KiB\n"
+    (Hw.Phys_mem.size (Hw.Machine.mem tb.Testbed.machine) / 1024 / 1024)
+    (S.memory_units sm)
+    (S.memory_unit_bytes sm / 1024);
+  Printf.printf "LLC partitioned : %b\n"
+    tb.Testbed.platform.Sanctorum_platform.Platform.llc_partitioned;
+  Printf.printf "SM measurement  : %s…\n" (hex8 (S.get_field sm S.Field_sm_measurement));
+  Printf.printf "SM public key   : %s…\n" (hex8 (S.get_field sm S.Field_public_key));
+  Printf.printf "signing enclave : %s… (expected measurement)\n"
+    (hex8 (S.get_field sm S.Field_signing_measurement));
+  Printf.printf "certificates    : %d bytes\n"
+    (String.length (S.get_field sm S.Field_certificates))
+
+let cmd_run backend count quantum =
+  let tb = Testbed.create ~backend () in
+  let evbase = 0x10000 in
+  let counter = evbase + 4096 in
+  let body =
+    Hw.Isa.(
+      li t0 counter
+      @ [ Load (Ld, t1, t0, 0) ]
+      @ li t2 count
+      @ [
+          Branch (Bge, t1, t2, 16);
+          Op_imm (Add, t1, t1, 1);
+          Store (Sd, t1, t0, 0);
+          Jal (zero, -12);
+        ]
+      @ exit_prog)
+  in
+  let image = Sanctorum.Image.of_program ~evbase body in
+  match Os.install_enclave tb.Testbed.os image with
+  | Error e -> Printf.printf "install failed: %s\n" (Sanctorum.Api_error.to_string e)
+  | Ok inst ->
+      let eid = inst.Os.eid and tid = List.hd inst.Os.tids in
+      Printf.printf "enclave 0x%x measuring %s… counting to %d (quantum %d)\n"
+        eid
+        (hex8 (Result.get_ok (S.enclave_measurement tb.Testbed.sm ~eid)))
+        count quantum;
+      let entries = ref 0 and finished = ref false in
+      while (not !finished) && !entries < 100000 do
+        incr entries;
+        match
+          Os.run_enclave tb.Testbed.os ~eid ~tid ~core:0 ~fuel:1000000 ~quantum ()
+        with
+        | Ok Os.Exited -> finished := true
+        | Ok Os.Preempted -> ()
+        | Ok _ | Error _ -> finished := true
+      done;
+      let paddrs = Sanctorum_attack.Malicious_os.enclave_paddrs tb.Testbed.os ~eid in
+      let data =
+        List.nth paddrs (List.length (Sanctorum.Image.required_page_tables image) + 1)
+      in
+      Printf.printf "finished after %d entries (%d AEX); counted %Ld\n" !entries
+        (!entries - 1)
+        (Hw.Phys_mem.read_u64 (Hw.Machine.mem tb.Testbed.machine) data)
+
+let cmd_attest backend =
+  let tb = Testbed.create ~backend () in
+  match Testbed.install_signing_enclave tb with
+  | Error e -> Printf.printf "signing enclave: %s\n" (Sanctorum.Api_error.to_string e)
+  | Ok es ->
+      let target = Sanctorum.Image.of_program ~evbase:0x30000 exit_prog in
+      (match Os.install_enclave tb.Testbed.os target with
+      | Error e -> Printf.printf "target: %s\n" (Sanctorum.Api_error.to_string e)
+      | Ok t1 ->
+          let session =
+            Sanctorum.Attestation.run_remote_attestation tb.Testbed.sm
+              ~rng:tb.Testbed.rng ~eid:t1.Os.eid ~es_eid:es.Os.eid
+              ~expected_measurement:(Sanctorum.Image.measurement target)
+          in
+          (match session.Sanctorum.Attestation.verdict with
+          | Ok () -> Printf.printf "remote attestation: VERIFIED\n"
+          | Error m -> Printf.printf "remote attestation: REJECTED (%s)\n" m);
+          Printf.printf "session keys agree: %b\n"
+            (session.Sanctorum.Attestation.session_key_verifier
+            = session.Sanctorum.Attestation.session_key_enclave))
+
+let cmd_probe backend =
+  let tb = Testbed.create ~backend () in
+  let image = Sanctorum.Image.of_program ~evbase:0x10000 exit_prog in
+  match Os.install_enclave tb.Testbed.os image with
+  | Error e -> Printf.printf "install: %s\n" (Sanctorum.Api_error.to_string e)
+  | Ok inst ->
+      let paddr =
+        List.hd (Sanctorum_attack.Malicious_os.enclave_paddrs tb.Testbed.os ~eid:inst.Os.eid)
+      in
+      let show label result =
+        Printf.printf "  %-28s %s\n" label
+          (match result with `Denied -> "denied" | `Allowed -> "ALLOWED (bug!)")
+      in
+      Printf.printf "malicious-OS probes against enclave memory at 0x%x:\n" paddr;
+      show "load (ISA)"
+        (match Sanctorum_attack.Malicious_os.os_load tb.Testbed.os ~core:1 ~paddr with
+        | Sanctorum_attack.Malicious_os.Denied -> `Denied
+        | Sanctorum_attack.Malicious_os.Leaked _ -> `Allowed);
+      show "store (ISA)"
+        (match
+           Sanctorum_attack.Malicious_os.os_store tb.Testbed.os ~core:1 ~paddr
+             ~value:1L
+         with
+        | `Denied -> `Denied
+        | `Stored -> `Allowed);
+      show "execute (ISA)"
+        (match Sanctorum_attack.Malicious_os.os_execute tb.Testbed.os ~core:1 ~paddr with
+        | `Denied -> `Denied
+        | `Executed -> `Allowed);
+      show "DMA read"
+        (match Sanctorum_attack.Malicious_os.dma_read tb.Testbed.os ~paddr ~len:8 with
+        | `Denied -> `Denied
+        | `Leaked _ -> `Allowed);
+      show "DMA write"
+        (match Sanctorum_attack.Malicious_os.dma_write tb.Testbed.os ~paddr ~data:"x" with
+        | `Denied -> `Denied
+        | `Stored -> `Allowed)
+
+let cmd_leak backend secret =
+  let tb =
+    Testbed.create ~backend ~l2:Sanctorum_attack.Cache_probe.recommended_l2 ()
+  in
+  match Sanctorum_attack.Cache_probe.run tb ~secret () with
+  | Error m -> Printf.printf "error: %s\n" m
+  | Ok o ->
+      Format.printf "%a@." Sanctorum_attack.Cache_probe.pp_outcome o;
+      Printf.printf "%s\n"
+        (if o.Sanctorum_attack.Cache_probe.leaked then
+           "the attacker recovered the enclave's secret"
+         else "no signal: the LLC partition holds")
+
+open Cmdliner
+
+let boot_cmd =
+  Cmd.v (Cmd.info "boot" ~doc:"Boot the stack and print the monitor's identity.")
+    Term.(const cmd_boot $ backend_arg)
+
+let run_cmd =
+  let count =
+    Arg.(value & opt int 5000 & info [ "count"; "n" ] ~doc:"Loop iterations.")
+  in
+  let quantum =
+    Arg.(value & opt int 2000 & info [ "quantum"; "q" ] ~doc:"Preemption quantum (cycles).")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a preemptible counting enclave to completion.")
+    Term.(const cmd_run $ backend_arg $ count $ quantum)
+
+let attest_cmd =
+  Cmd.v (Cmd.info "attest" ~doc:"Full remote attestation (paper Fig. 7).")
+    Term.(const cmd_attest $ backend_arg)
+
+let probe_cmd =
+  Cmd.v (Cmd.info "probe" ~doc:"Malicious-OS probes against enclave memory.")
+    Term.(const cmd_probe $ backend_arg)
+
+let leak_cmd =
+  let secret =
+    Arg.(value & opt int 5 & info [ "secret"; "s" ] ~doc:"Victim secret, 0-7.")
+  in
+  Cmd.v (Cmd.info "leak" ~doc:"Prime+probe cache attack against a victim enclave.")
+    Term.(const cmd_leak $ backend_arg $ secret)
+
+let () =
+  let doc = "drive the Sanctorum security-monitor reproduction" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "sanctorum_demo" ~doc)
+          [ boot_cmd; run_cmd; attest_cmd; probe_cmd; leak_cmd ]))

@@ -1,0 +1,84 @@
+(* End-to-end smoke driver (kept small; real coverage lives in test/). *)
+module Hw = Sanctorum_hw
+open Sanctorum_os
+
+let pp_outcome = function
+  | Os.Exited -> "exited"
+  | Os.Preempted -> "preempted"
+  | Os.Faulted c -> Format.asprintf "faulted (%a)" Hw.Trap.pp_cause c
+  | Os.Fuel_exhausted -> "fuel exhausted"
+
+let () =
+  let tb = Testbed.create () in
+  let open Hw.Isa in
+  let prog =
+    li a0 41
+    @ [ Op_imm (Add, a0, a0, 1) ]
+    @ li t0 (0x10000 + 4096)
+    @ [ Store (Sd, a0, t0, 0); Op_imm (Add, a7, zero, 1); Ecall ]
+  in
+  let image = Sanctorum.Image.of_program ~evbase:0x10000 prog in
+  (match Os.install_enclave tb.Testbed.os image with
+  | Error e ->
+      Printf.printf "install failed: %s\n" (Sanctorum.Api_error.to_string e)
+  | Ok inst ->
+      let eid = inst.Os.eid and tid = List.hd inst.Os.tids in
+      let meas_sm =
+        Result.get_ok (Sanctorum.Sm.enclave_measurement tb.Testbed.sm ~eid)
+      in
+      Printf.printf "measurement match: %b\n"
+        (meas_sm = Sanctorum.Image.measurement image);
+      (match Os.run_enclave tb.Testbed.os ~eid ~tid ~core:0 ~fuel:10000 () with
+      | Ok o -> Printf.printf "run 1: %s\n" (pp_outcome o)
+      | Error e ->
+          Printf.printf "run failed: %s\n" (Sanctorum.Api_error.to_string e)));
+  (* AEX: an infinite loop preempted by the OS timer, then resumed. *)
+  let loop_img = Sanctorum.Image.of_program ~evbase:0x20000 [ j 0 ] in
+  (match Os.install_enclave tb.Testbed.os loop_img with
+  | Error e ->
+      Printf.printf "install2 failed: %s\n" (Sanctorum.Api_error.to_string e)
+  | Ok inst ->
+      let eid = inst.Os.eid and tid = List.hd inst.Os.tids in
+      (match
+         Os.run_enclave tb.Testbed.os ~eid ~tid ~core:1 ~fuel:100000
+           ~quantum:500 ()
+       with
+      | Ok o -> Printf.printf "run 2 (quantum): %s\n" (pp_outcome o)
+      | Error e ->
+          Printf.printf "run2 failed: %s\n" (Sanctorum.Api_error.to_string e));
+      Printf.printf "aex state saved: %b\n"
+        (Result.get_ok (Sanctorum.Sm.thread_has_aex_state tb.Testbed.sm ~tid));
+      (match
+         Os.resume_enclave tb.Testbed.os ~eid ~tid ~core:1 ~fuel:2000
+           ~quantum:500 ()
+       with
+      | Ok o -> Printf.printf "resume: %s\n" (pp_outcome o)
+      | Error e ->
+          Printf.printf "resume failed: %s\n" (Sanctorum.Api_error.to_string e)));
+  (* Signing enclave + full remote attestation. *)
+  match Testbed.install_signing_enclave tb with
+  | Error e ->
+      Printf.printf "signing install failed: %s\n"
+        (Sanctorum.Api_error.to_string e)
+  | Ok es -> begin
+      let target =
+        Sanctorum.Image.of_program ~evbase:0x30000
+          [ Op_imm (Add, a7, zero, 1); Ecall ]
+      in
+      match Os.install_enclave tb.Testbed.os target with
+      | Error e ->
+          Printf.printf "target install failed: %s\n"
+            (Sanctorum.Api_error.to_string e)
+      | Ok t1 ->
+          let session =
+            Sanctorum.Attestation.run_remote_attestation tb.Testbed.sm
+              ~rng:tb.Testbed.rng ~eid:t1.Os.eid ~es_eid:es.Os.eid
+              ~expected_measurement:(Sanctorum.Image.measurement target)
+          in
+          Printf.printf "remote attestation: %s, keys agree: %b\n"
+            (match session.Sanctorum.Attestation.verdict with
+            | Ok () -> "ok"
+            | Error m -> "FAIL: " ^ m)
+            (session.Sanctorum.Attestation.session_key_verifier
+            = session.Sanctorum.Attestation.session_key_enclave)
+    end

@@ -1,0 +1,1 @@
+examples/cache_sidechannel.ml: Printf Sanctorum_attack Sanctorum_os Testbed

@@ -1,0 +1,1 @@
+examples/demand_paging.ml: List Os Printf Result Sanctorum Sanctorum_attack Sanctorum_hw Sanctorum_os String Testbed

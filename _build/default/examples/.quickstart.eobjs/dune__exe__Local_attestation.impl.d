@@ -1,0 +1,1 @@
+examples/local_attestation.ml: Os Printf Result Sanctorum Sanctorum_hw Sanctorum_os Sanctorum_util String Testbed

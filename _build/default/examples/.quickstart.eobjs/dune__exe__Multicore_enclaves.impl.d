@@ -1,0 +1,1 @@
+examples/multicore_enclaves.ml: Int64 List Os Printf Result Sanctorum Sanctorum_attack Sanctorum_hw Sanctorum_os Testbed

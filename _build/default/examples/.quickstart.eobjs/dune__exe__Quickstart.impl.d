@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Os Printf Result Sanctorum Sanctorum_attack Sanctorum_hw Sanctorum_os Sanctorum_platform Sanctorum_util String Testbed

@@ -1,0 +1,1 @@
+examples/remote_attestation.ml: Bytes Char Int32 List Os Printf Result Sanctorum Sanctorum_crypto Sanctorum_hw Sanctorum_os Sanctorum_util String Testbed

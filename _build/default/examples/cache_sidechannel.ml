@@ -1,0 +1,37 @@
+(* Experiment S1 as a demo: an OS-level prime+probe attacker against a
+   victim enclave whose secret selects which cache line it touches.
+
+   On Keystone (shared LLC, per its threat model) the attacker reads
+   the secret from its probe timings; on Sanctum (LLC partitioned by
+   DRAM-region page coloring) the same attacker sees a flat profile.
+
+     dune exec examples/cache_sidechannel.exe
+*)
+module Atk = Sanctorum_attack
+open Sanctorum_os
+
+let run_backend backend =
+  Printf.printf "--- %s ---\n" (Testbed.backend_name backend);
+  let recovered = ref 0 in
+  let total = 8 in
+  for secret = 0 to total - 1 do
+    let tb = Testbed.create ~backend ~l2:Atk.Cache_probe.recommended_l2 () in
+    match Atk.Cache_probe.run tb ~secret () with
+    | Error m -> Printf.printf "  secret %d: error %s\n" secret m
+    | Ok o ->
+        if o.Atk.Cache_probe.leaked then incr recovered;
+        Printf.printf "  secret %d -> guess %d (spread %3d cycles) %s\n" secret
+          o.Atk.Cache_probe.guess o.Atk.Cache_probe.spread
+          (if o.Atk.Cache_probe.leaked then "LEAKED" else "no signal")
+  done;
+  Printf.printf "  => attacker recovered %d / %d secrets\n\n" !recovered total
+
+let () =
+  Printf.printf
+    "prime+probe: attacker primes the LLC sets a victim load could map to,\n\
+     schedules the victim enclave, probes with rdcycle timings.\n\n";
+  run_backend Testbed.Keystone_backend;
+  run_backend Testbed.Sanctum_backend;
+  Printf.printf
+    "Sanctum's cache partitioning (paper SVII-A) removes the channel that\n\
+     Keystone's threat model (SVII-B) deliberately leaves out of scope.\n"

@@ -1,0 +1,64 @@
+(* Quickstart: boot a monitored machine, build an enclave that computes
+   42 in real (simulated) RISC-V, run it, and check its measurement.
+
+     dune exec examples/quickstart.exe
+*)
+module Hw = Sanctorum_hw
+open Sanctorum_os
+
+let () =
+  (* 1. Bring up the stack: machine + Sanctum platform + secure boot +
+     security monitor + untrusted OS. *)
+  let tb = Testbed.create () in
+  Printf.printf "booted: %s platform, %d cores, monitor measurement %s…\n"
+    tb.Testbed.platform.Sanctorum_platform.Platform.name
+    (Hw.Machine.core_count tb.Testbed.machine)
+    (Sanctorum_util.Hex.encode
+       (String.sub (Sanctorum.Sm.get_field tb.Testbed.sm Sanctorum.Sm.Field_sm_measurement) 0 8));
+
+  (* 2. Write an enclave program: a0 = 6 * 7, store it to the enclave's
+     data page, and exit through the monitor. *)
+  let evbase = 0x10000 in
+  let open Hw.Isa in
+  let program =
+    li t0 6 @ li t1 7
+    @ [ Mul (a0, t0, t1) ]
+    @ li t2 (evbase + 4096)
+    @ [ Store (Sd, a0, t2, 0) ]
+    @ [ Op_imm (Add, a7, zero, Sanctorum.Sm.Ecall.exit_enclave); Ecall ]
+  in
+  let image = Sanctorum.Image.of_program ~evbase program in
+
+  (* 3. The OS loads it through the monitor's API (create, grant memory,
+     page tables, measured pages, thread, init). *)
+  match Os.install_enclave tb.Testbed.os image with
+  | Error e ->
+      Printf.printf "install failed: %s\n" (Sanctorum.Api_error.to_string e)
+  | Ok inst ->
+      let eid = inst.Os.eid and tid = List.hd inst.Os.tids in
+      Printf.printf "enclave installed: eid=0x%x\n" eid;
+
+      (* 4. Its measurement is exactly what anyone can precompute from
+         the image — the foundation of attestation. *)
+      let m = Result.get_ok (Sanctorum.Sm.enclave_measurement tb.Testbed.sm ~eid) in
+      Printf.printf "measurement: %s\n" (Sanctorum_util.Hex.encode m);
+      Printf.printf "matches offline Image.measurement: %b\n"
+        (m = Sanctorum.Image.measurement image);
+
+      (* 5. Run it. *)
+      (match Os.run_enclave tb.Testbed.os ~eid ~tid ~core:0 ~fuel:1000 () with
+      | Ok Os.Exited -> Printf.printf "enclave ran and exited cleanly\n"
+      | Ok _ -> Printf.printf "unexpected outcome\n"
+      | Error e -> Printf.printf "run failed: %s\n" (Sanctorum.Api_error.to_string e));
+
+      (* 6. The OS cannot read the answer out of enclave memory — the
+         hardware refuses — but the monitor (for this demo) can. *)
+      let paddrs = Sanctorum_attack.Malicious_os.enclave_paddrs tb.Testbed.os ~eid in
+      let data = List.nth paddrs (List.length (Sanctorum.Image.required_page_tables image) + 1) in
+      (match Sanctorum_attack.Malicious_os.os_load tb.Testbed.os ~core:1 ~paddr:data with
+      | Sanctorum_attack.Malicious_os.Denied ->
+          Printf.printf "OS probe of the result: denied by hardware (as it must be)\n"
+      | Sanctorum_attack.Malicious_os.Leaked v ->
+          Printf.printf "OS probe LEAKED 0x%Lx - isolation broken!\n" v);
+      Printf.printf "monitor's view of the result: %Ld\n"
+        (Hw.Phys_mem.read_u64 (Hw.Machine.mem tb.Testbed.machine) data)

@@ -1,0 +1,1 @@
+lib/attack/cache_probe.ml: Array Format Fun Int64 List Malicious_os Sanctorum Sanctorum_hw Sanctorum_os Sanctorum_util

@@ -1,0 +1,1 @@
+lib/attack/cache_probe.mli: Format Sanctorum_hw Sanctorum_os

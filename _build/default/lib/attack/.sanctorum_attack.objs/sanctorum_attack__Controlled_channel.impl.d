@@ -1,0 +1,1 @@
+lib/attack/controlled_channel.ml: Hashtbl Int64 List Sanctorum Sanctorum_hw Sanctorum_os Sanctorum_util

@@ -1,0 +1,1 @@
+lib/attack/controlled_channel.mli: Sanctorum_os

@@ -1,0 +1,1 @@
+lib/attack/malicious_os.ml: Int64 List Sanctorum Sanctorum_hw Sanctorum_os Sanctorum_platform String

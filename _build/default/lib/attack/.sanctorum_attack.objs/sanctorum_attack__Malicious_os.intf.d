@@ -1,0 +1,1 @@
+lib/attack/malicious_os.mli: Sanctorum_os

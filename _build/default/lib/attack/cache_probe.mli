@@ -1,0 +1,32 @@
+(** The LLC prime+probe adversary (experiment S1).
+
+    An OS-level attacker primes the cache sets a victim enclave's
+    secret-dependent load could map to, schedules the victim, then
+    probes each candidate set with [rdcycle] timings. On the Sanctum
+    backend, LLC partitioning by page coloring keeps the victim's
+    evictions out of every set the attacker can reach, so the timing
+    profile is flat; on the Keystone backend (unpartitioned LLC, per its
+    threat model) the victim's secret is recovered.
+
+    The experiment needs a small LLC so the prime buffer fits the OS
+    heap: use {!recommended_l2} when creating the testbed. *)
+
+val recommended_l2 : Sanctorum_hw.Cache.config
+(** 256 sets, 2 ways — small enough that priming a full set group fits
+    in OS staging memory. *)
+
+type outcome = {
+  secret : int;  (** the value baked into the victim *)
+  timings : int array;  (** probe cycles per candidate secret *)
+  guess : int;  (** argmax of [timings] *)
+  spread : int;  (** max - min probe time *)
+  leaked : bool;  (** [spread] significant and [guess = secret] *)
+}
+
+val run :
+  Sanctorum_os.Testbed.t -> secret:int -> ?candidates:int -> unit ->
+  (outcome, string) result
+(** Run one full prime → victim → probe round on core 0. [secret] must
+    be in [0, candidates) (default 8 candidates). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,111 @@
+module Hw = Sanctorum_hw
+module Os = Sanctorum_os.Os
+module Testbed = Sanctorum_os.Testbed
+
+type observation = { observed_pages : int list; recovered : bool }
+
+let page = Hw.Phys_mem.page_size
+let code_vaddr = 0x400000
+let data_vaddr = code_vaddr + page
+
+let victim_loads ~base ~secret =
+  let open Hw.Isa in
+  List.concat_map
+    (fun d -> li t0 (base + (d * page)) @ [ Load (Ld, t1, t0, 0) ])
+    secret
+  @ [ Op_imm (Add, a7, zero, 1); Ecall ]
+
+let baseline (tb : Testbed.t) ~secret ~core =
+  let os = tb.Testbed.os in
+  let machine = Os.machine os in
+  let mem = Hw.Machine.mem machine in
+  let c = Hw.Machine.core machine core in
+  (* OS-controlled page tables: only the code page is mapped; every
+     data page will fault into the OS's handler. *)
+  let alloc_page () =
+    let p = Os.alloc_staging os ~bytes:page in
+    Hw.Phys_mem.zero_range mem ~pos:p ~len:page;
+    p / page
+  in
+  let root = alloc_page () in
+  let code = Hw.Isa.encode_program (victim_loads ~base:data_vaddr ~secret) in
+  let code_ppn = alloc_page () in
+  Os.os_write os ~paddr:(Hw.Phys_mem.page_base code_ppn) code;
+  Hw.Page_table.map mem ~root_ppn:root ~vaddr:code_vaddr ~ppn:code_ppn
+    ~perms:Hw.Page_table.{ r = true; w = false; x = true; u = true }
+    ~alloc_table:alloc_page;
+  Hw.Machine.reset_core_state c;
+  Hw.Tlb.flush c.Hw.Machine.tlb;
+  c.Hw.Machine.satp_root <- Some root;
+  c.Hw.Machine.pc <- Int64.of_int code_vaddr;
+  c.Hw.Machine.halted <- false;
+  Os.clear_delegated_events os;
+  let observed = ref [] in
+  let finished = ref false in
+  let fuel = ref 100000 in
+  let page_frames = Hashtbl.create 8 in
+  while (not !finished) && !fuel > 0 do
+    fuel := !fuel - Hw.Machine.run machine ~core ~fuel:!fuel;
+    let events = Os.delegated_events os in
+    Os.clear_delegated_events os;
+    List.iter
+      (fun ev ->
+        match ev with
+        | Hw.Trap.Exception (Hw.Trap.Page_fault (_, va)) ->
+            (* The controlled channel: the OS reads the secret straight
+               from the fault address, maps the page, single-steps the
+               victim across the access, and unmaps again so every
+               subsequent touch of any page faults too. *)
+            let va = Int64.to_int va in
+            observed := ((va - data_vaddr) / page) :: !observed;
+            let vpage = Sanctorum_util.Bits.align_down va page in
+            let ppn =
+              match Hashtbl.find_opt page_frames vpage with
+              | Some ppn -> ppn
+              | None ->
+                  let ppn = alloc_page () in
+                  Hashtbl.replace page_frames vpage ppn;
+                  ppn
+            in
+            Hw.Page_table.map mem ~root_ppn:root ~vaddr:vpage ~ppn
+              ~perms:Hw.Page_table.{ r = true; w = true; x = false; u = true }
+              ~alloc_table:alloc_page;
+            c.Hw.Machine.halted <- false;
+            Hw.Machine.step machine c;
+            ignore (Hw.Page_table.unmap mem ~root_ppn:root ~vaddr:vpage);
+            Hw.Tlb.flush c.Hw.Machine.tlb
+        | Hw.Trap.Exception Hw.Trap.Ecall_user -> finished := true
+        | Hw.Trap.Exception _ | Hw.Trap.Interrupt _ -> finished := true)
+      events;
+    if c.Hw.Machine.halted && not !finished then finished := true;
+    fuel := !fuel - 1
+  done;
+  c.Hw.Machine.satp_root <- None;
+  let observed_pages = List.rev !observed in
+  { observed_pages; recovered = observed_pages = secret }
+
+let enclave (tb : Testbed.t) ~secret ~core =
+  let os = tb.Testbed.os in
+  let evbase = 0x200000 in
+  let pages_needed = 1 + List.fold_left max 0 secret + 1 in
+  let image =
+    Sanctorum.Image.of_program ~evbase ~data_pages:pages_needed
+      (victim_loads ~base:(evbase + page) ~secret)
+  in
+  match Os.install_enclave os image with
+  | Error e -> Error (Sanctorum.Api_error.to_string e)
+  | Ok inst ->
+      let eid = inst.Os.eid and tid = List.hd inst.Os.tids in
+      Os.clear_delegated_events os;
+      (match Os.run_enclave os ~eid ~tid ~core ~fuel:100000 () with
+      | Ok _ | Error _ -> ());
+      let observed_pages =
+        List.filter_map
+          (fun ev ->
+            match ev with
+            | Hw.Trap.Exception (Hw.Trap.Page_fault (_, va)) ->
+                Some ((Int64.to_int va - (evbase + page)) / page)
+            | Hw.Trap.Exception _ | Hw.Trap.Interrupt _ -> None)
+          (Os.delegated_events os)
+      in
+      Ok { observed_pages; recovered = observed_pages = secret }

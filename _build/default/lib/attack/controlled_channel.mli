@@ -1,0 +1,24 @@
+(** The controlled-channel adversary (§II-c): a malicious OS abuses
+    demand paging to observe a victim's page-access sequence.
+
+    Against an ordinary user process the OS controls the page tables:
+    it maps pages lazily and reads the secret straight out of the fault
+    addresses. Against a Sanctorum enclave the page tables are private
+    and inside protected memory, faults within evrange are delivered to
+    the enclave itself, and the OS observes nothing. *)
+
+type observation = {
+  observed_pages : int list;
+      (** page indices the OS saw faulting, in order *)
+  recovered : bool;  (** the observation equals the victim's secret *)
+}
+
+val baseline :
+  Sanctorum_os.Testbed.t -> secret:int list -> core:int -> observation
+(** The victim is an ordinary user process; the OS demand-pages it. Each
+    secret digit selects which data page the victim touches next. *)
+
+val enclave :
+  Sanctorum_os.Testbed.t -> secret:int list -> core:int ->
+  (observation, string) result
+(** The same victim access pattern inside an enclave. *)

@@ -1,0 +1,76 @@
+module Hw = Sanctorum_hw
+module Os = Sanctorum_os.Os
+
+type probe_result = Denied | Leaked of int64
+
+(* Run a short OS-level program with bare (physical) addressing: the
+   probe instruction stream itself lives in OS-owned staging memory, so
+   only the probed access can fault. *)
+let run_bare os ~core ~program =
+  let machine = Os.machine os in
+  let c = Hw.Machine.core machine core in
+  let code = Hw.Isa.encode_program program in
+  let code_paddr = Os.alloc_staging os ~bytes:(String.length code) in
+  Os.os_write os ~paddr:code_paddr code;
+  Os.clear_delegated_events os;
+  Hw.Machine.reset_core_state c;
+  c.Hw.Machine.satp_root <- None;
+  c.Hw.Machine.pc <- Int64.of_int code_paddr;
+  c.Hw.Machine.halted <- false;
+  let _ = Hw.Machine.run machine ~core ~fuel:64 in
+  let events = Os.delegated_events os in
+  let a0 = Hw.Machine.read_reg c Hw.Isa.a0 in
+  (events, a0)
+
+let faulted events =
+  List.exists
+    (function
+      | Hw.Trap.Exception (Hw.Trap.Access_fault _)
+      | Hw.Trap.Exception (Hw.Trap.Page_fault _) ->
+          true
+      | Hw.Trap.Exception _ | Hw.Trap.Interrupt _ -> false)
+    events
+
+let os_load os ~core ~paddr =
+  let open Hw.Isa in
+  let program = li t0 paddr @ [ Load (Ld, a0, t0, 0); Ecall ] in
+  let events, a0 = run_bare os ~core ~program in
+  if faulted events then Denied else Leaked a0
+
+let os_store os ~core ~paddr ~value =
+  let open Hw.Isa in
+  (* 64-bit immediates do not fit [li]; materialize via two words. *)
+  let lo = Int64.to_int (Int64.logand value 0xffffL) in
+  let program =
+    li t0 paddr @ li t1 lo @ [ Store (Sd, t1, t0, 0); Ecall ]
+  in
+  let events, _ = run_bare os ~core ~program in
+  if faulted events then `Denied else `Stored
+
+let os_execute os ~core ~paddr =
+  let open Hw.Isa in
+  let program = li t0 paddr @ [ Jalr (ra, t0, 0) ] in
+  let events, _ = run_bare os ~core ~program in
+  if faulted events then `Denied else `Executed
+
+let dma_read os ~paddr ~len =
+  match Hw.Machine.dma_read (Os.machine os) ~paddr ~len with
+  | Ok data -> `Leaked data
+  | Error _ -> `Denied
+
+let dma_write os ~paddr ~data =
+  match Hw.Machine.dma_write (Os.machine os) ~paddr data with
+  | Ok () -> `Stored
+  | Error _ -> `Denied
+
+let enclave_paddrs os ~eid =
+  let sm = Os.sm os in
+  match Sanctorum.Sm.enclave_domain sm ~eid with
+  | Error _ -> []
+  | Ok domain ->
+      let pf = Sanctorum.Sm.platform sm in
+      List.concat_map
+        (fun (lo, hi) ->
+          List.init ((hi - lo) / Hw.Phys_mem.page_size) (fun i ->
+              lo + (i * Hw.Phys_mem.page_size)))
+        (pf.Sanctorum_platform.Platform.ranges_of_domain domain)

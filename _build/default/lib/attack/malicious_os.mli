@@ -1,0 +1,28 @@
+(** Direct attacks by the privileged software adversary of the threat
+    model (§IV): OS code trying to reach enclave state through loads,
+    stores, instruction fetch, and DMA. Every probe here must be stopped
+    by the hardware isolation primitive, not by monitor software. *)
+
+type probe_result = Denied | Leaked of int64
+
+val os_load : Sanctorum_os.Os.t -> core:int -> paddr:int -> probe_result
+(** Run an OS-level user program (bare addressing, untrusted domain)
+    that loads 8 bytes from [paddr]. *)
+
+val os_store : Sanctorum_os.Os.t -> core:int -> paddr:int -> value:int64 ->
+  [ `Denied | `Stored ]
+
+val os_execute : Sanctorum_os.Os.t -> core:int -> paddr:int ->
+  [ `Denied | `Executed ]
+(** Jump into [paddr] — e.g. to run enclave code with OS data. *)
+
+val dma_read : Sanctorum_os.Os.t -> paddr:int -> len:int ->
+  [ `Denied | `Leaked of string ]
+(** A malicious device's DMA read (§IV-B1). *)
+
+val dma_write : Sanctorum_os.Os.t -> paddr:int -> data:string ->
+  [ `Denied | `Stored ]
+
+val enclave_paddrs : Sanctorum_os.Os.t -> eid:int -> int list
+(** Physical pages currently owned by the enclave's domain — what the
+    OS (which allocated them) knows to aim at. *)

@@ -1,0 +1,1 @@
+lib/core/api_error.ml: Format Stdlib

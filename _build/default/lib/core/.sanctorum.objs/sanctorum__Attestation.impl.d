@@ -1,0 +1,1 @@
+lib/core/attestation.ml: Api_error Boot Image Int32 List Mailbox Result Sanctorum_crypto Sanctorum_hw Sanctorum_util Sm String

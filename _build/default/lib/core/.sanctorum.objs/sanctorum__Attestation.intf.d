@@ -1,0 +1,1 @@
+lib/core/attestation.mli: Api_error Image Sanctorum_crypto Sm

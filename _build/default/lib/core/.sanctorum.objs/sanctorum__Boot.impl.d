@@ -1,0 +1,1 @@
+lib/core/boot.ml: Sanctorum_crypto

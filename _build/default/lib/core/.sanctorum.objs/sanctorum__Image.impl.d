@@ -1,0 +1,1 @@
+lib/core/image.ml: Format Int64 List Measurement Sanctorum_hw String

@@ -1,0 +1,1 @@
+lib/core/measurement.ml: Int64 Sanctorum_crypto Sanctorum_util

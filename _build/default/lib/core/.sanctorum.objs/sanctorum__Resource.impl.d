@@ -1,0 +1,1 @@
+lib/core/resource.ml: Api_error Array Format Sanctorum_hw

@@ -1,0 +1,1 @@
+lib/core/resource.mli: Api_error Format Sanctorum_hw

@@ -1,0 +1,1 @@
+lib/core/sm.ml: Api_error Array Boot Buffer Bytes Format Fun Hashtbl Int32 Int64 List Mailbox Measurement Resource Result Sanctorum_crypto Sanctorum_hw Sanctorum_platform Sanctorum_util String

@@ -1,0 +1,1 @@
+lib/core/sm.mli: Api_error Boot Mailbox Resource Sanctorum_crypto Sanctorum_hw Sanctorum_platform

@@ -1,0 +1,29 @@
+type t =
+  | Illegal_argument of string
+  | Unauthorized
+  | Concurrent_call
+  | Invalid_state of string
+  | Out_of_resources of string
+
+type 'a result = ('a, t) Stdlib.result
+
+let equal a b =
+  match (a, b) with
+  | Illegal_argument _, Illegal_argument _ -> true
+  | Unauthorized, Unauthorized -> true
+  | Concurrent_call, Concurrent_call -> true
+  | Invalid_state _, Invalid_state _ -> true
+  | Out_of_resources _, Out_of_resources _ -> true
+  | ( (Illegal_argument _ | Unauthorized | Concurrent_call | Invalid_state _
+      | Out_of_resources _),
+      _ ) ->
+      false
+
+let pp ppf = function
+  | Illegal_argument m -> Format.fprintf ppf "illegal argument: %s" m
+  | Unauthorized -> Format.pp_print_string ppf "unauthorized"
+  | Concurrent_call -> Format.pp_print_string ppf "concurrent call"
+  | Invalid_state m -> Format.fprintf ppf "invalid state: %s" m
+  | Out_of_resources m -> Format.fprintf ppf "out of resources: %s" m
+
+let to_string e = Format.asprintf "%a" pp e

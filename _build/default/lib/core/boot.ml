@@ -1,0 +1,46 @@
+module Crypto = Sanctorum_crypto
+
+type identity = {
+  sm_measurement : string;
+  attestation_key : Crypto.Schnorr.secret_key;
+  device_public : Crypto.Schnorr.public_key;
+  certificates : Crypto.Cert.t list;
+  root_public : Crypto.Schnorr.public_key;
+}
+
+let manufacturer_root ~seed =
+  Crypto.Schnorr.secret_key_of_seed ("sanctorum-manufacturer-root" ^ seed)
+
+let perform ~root ~device_secret ~sm_binary =
+  let sm_measurement = Crypto.Sha3.sha3_256 sm_binary in
+  (* The device key depends only on the device secret; the monitor key
+     binds the device to the booted monitor's measurement, so patching
+     the monitor re-keys it ([7]). *)
+  let device_key =
+    Crypto.Schnorr.secret_key_of_seed
+      (Crypto.Hkdf.derive ~salt:"sanctorum-device-key" ~ikm:device_secret
+         ~info:"" ~len:32)
+  in
+  let attestation_key =
+    Crypto.Schnorr.secret_key_of_seed
+      (Crypto.Hkdf.derive ~salt:"sanctorum-sm-key" ~ikm:device_secret
+         ~info:sm_measurement ~len:32)
+  in
+  let device_public = Crypto.Schnorr.public_key device_key in
+  let device_cert =
+    Crypto.Cert.issue ~issuer:"manufacturer" ~issuer_key:root ~subject:"device"
+      ~subject_key:device_public ()
+  in
+  let sm_cert =
+    Crypto.Cert.issue ~issuer:"device" ~issuer_key:device_key
+      ~subject:"security-monitor"
+      ~subject_key:(Crypto.Schnorr.public_key attestation_key)
+      ~bound_measurement:sm_measurement ()
+  in
+  {
+    sm_measurement;
+    attestation_key;
+    device_public;
+    certificates = [ device_cert; sm_cert ];
+    root_public = Crypto.Schnorr.public_key root;
+  }

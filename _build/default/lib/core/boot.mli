@@ -1,0 +1,30 @@
+(** The secure-boot protocol (paper §IV-A, citing [7]): at reset the
+    hardware root of trust measures the monitor binary and endows it
+    with a key pair derived from the device secret and that
+    measurement, plus a certificate chain rooted in the manufacturer's
+    PKI. A different (e.g. tampered) monitor binary yields a different
+    key, for which no valid certificate exists. *)
+
+type identity = {
+  sm_measurement : string;  (** SHA3-256 of the monitor binary image *)
+  attestation_key : Sanctorum_crypto.Schnorr.secret_key;
+  device_public : Sanctorum_crypto.Schnorr.public_key;
+  certificates : Sanctorum_crypto.Cert.t list;
+      (** [device_cert; sm_cert], verifiable root-first against
+          {!field:root_public} *)
+  root_public : Sanctorum_crypto.Schnorr.public_key;
+      (** the manufacturer root verifiers already trust *)
+}
+
+val manufacturer_root : seed:string -> Sanctorum_crypto.Schnorr.secret_key
+(** The manufacturer's offline root key (simulated; a verifier would
+    hold only its public half). *)
+
+val perform :
+  root:Sanctorum_crypto.Schnorr.secret_key ->
+  device_secret:string ->
+  sm_binary:string ->
+  identity
+(** Boot the monitor image [sm_binary] on the device holding
+    [device_secret]. Deterministic: same device + same binary = same
+    identity. *)

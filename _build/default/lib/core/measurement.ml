@@ -1,0 +1,27 @@
+module Crypto = Sanctorum_crypto
+
+type t = Crypto.Sha3.t
+
+let size = 32
+let start () = Crypto.Sha3.init_sha3_256 ()
+let u64 v = Sanctorum_util.Bytesx.of_int64_le v
+let int v = u64 (Int64.of_int v)
+
+let extend_create t ~evbase ~evsize ~mailbox_count =
+  Crypto.Sha3.absorb t ("enclave-create" ^ int evbase ^ int evsize ^ int mailbox_count)
+
+let extend_page_table t ~vaddr ~level =
+  Crypto.Sha3.absorb t ("enclave-page-table" ^ int vaddr ^ int level)
+
+let extend_page t ~vaddr ~r ~w ~x ~contents =
+  let flag b = if b then "1" else "0" in
+  Crypto.Sha3.absorb t
+    ("enclave-page" ^ int vaddr ^ flag r ^ flag w ^ flag x ^ contents)
+
+let extend_shared t ~vaddr ~len =
+  Crypto.Sha3.absorb t ("enclave-shared" ^ int vaddr ^ int len)
+
+let extend_thread t ~entry_pc ~entry_sp =
+  Crypto.Sha3.absorb t ("enclave-thread" ^ u64 entry_pc ^ u64 entry_sp)
+
+let finalize t = Crypto.Sha3.finalize t ~len:size

@@ -1,0 +1,31 @@
+(** Enclave measurement (paper §VI-A): a SHA3-256 hash extended by every
+    monitor operation that shapes the enclave's initial state, finalized
+    at [init_enclave].
+
+    Two enclaves loaded with identical configuration, virtual layout and
+    contents measure equal — physical placement is deliberately {e not}
+    covered. The monitor separately enforces the invariants that make
+    the measurement descriptive (ascending physical loads, injective
+    virtual-to-physical mapping, page tables before data). *)
+
+type t
+
+val start : unit -> t
+
+val extend_create : t -> evbase:int -> evsize:int -> mailbox_count:int -> unit
+val extend_page_table : t -> vaddr:int -> level:int -> unit
+
+val extend_page :
+  t -> vaddr:int -> r:bool -> w:bool -> x:bool -> contents:string -> unit
+
+val extend_shared : t -> vaddr:int -> len:int -> unit
+(** Shared-buffer windows are measured by geometry only — their contents
+    belong to the untrusted OS. *)
+
+val extend_thread : t -> entry_pc:int64 -> entry_sp:int64 -> unit
+
+val finalize : t -> string
+(** The 32-byte enclave measurement. The context cannot be extended
+    afterwards. *)
+
+val size : int

@@ -1,0 +1,1079 @@
+module Hw = Sanctorum_hw
+module Pf = Sanctorum_platform
+module Crypto = Sanctorum_crypto
+
+type caller = Os | Enclave_caller of int
+type resource_target = To_os | To_enclave of int
+
+type field =
+  | Field_public_key
+  | Field_certificates
+  | Field_sm_measurement
+  | Field_signing_measurement
+
+type enclave_lifecycle = Loading | Initialized
+
+type thread_phase = T_available | T_assigned | T_running of int (* core *)
+
+type thread = {
+  tid : int;
+  mutable t_owner : int option; (* eid *)
+  mutable t_offered : int option; (* eid pending accept *)
+  mutable phase : thread_phase;
+  mutable entry_pc : int64;
+  mutable entry_sp : int64;
+  mutable aex_state : int64 array option; (* 32 regs then pc *)
+  mutable t_lock : bool;
+}
+
+type enclave = {
+  eid : int;
+  domain : Hw.Trap.domain;
+  evbase : int;
+  evsize : int;
+  mutable lifecycle : enclave_lifecycle;
+  mutable meas_ctx : Measurement.t option;
+  mutable measurement : string option;
+  mutable root_ppn : int option;
+  mutable free_pages : int list; (* ascending ppns granted and not yet used *)
+  mutable last_alloc_ppn : int;
+  mutable data_loaded : bool;
+  vmap : (int, int) Hashtbl.t; (* vpn -> ppn *)
+  pmap : (int, int) Hashtbl.t; (* ppn -> vpn *)
+  mailboxes : Mailbox.t;
+  mutable threads : int list;
+  mutable fault_handler : int64 option;
+  mutable e_lock : bool;
+}
+
+type t = {
+  pf : Pf.Platform.t;
+  machine : Hw.Machine.t;
+  identity : Boot.identity;
+  signing_measurement : string;
+  resources : Resource.t;
+  unit_bytes : int;
+  enclaves : (int, enclave) Hashtbl.t;
+  threads : (int, thread) Hashtbl.t;
+  slots : (int, int) Hashtbl.t; (* metadata addr -> length *)
+  domain_of_enclave : (Hw.Trap.domain, int) Hashtbl.t; (* domain -> eid *)
+  mutable next_domain : Hw.Trap.domain;
+  mutable os_handler : Hw.Machine.core -> Hw.Trap.cause -> unit;
+  mutable resource_lock : bool;
+}
+
+let binary_image =
+  (* Stands in for the monitor's C binary; its hash is the SM
+     measurement covered by attestations. *)
+  String.concat "\n"
+    [ "sanctorum security monitor"; "version 1.0"; "model: ocaml reproduction" ]
+
+let enclave_slot_bytes = 2048
+let thread_slot_bytes = 512
+let sm_image_bytes = 64 * 1024
+let page = Hw.Phys_mem.page_size
+
+let ( let* ) = Result.bind
+let ok = Ok ()
+let err_arg m = Error (Api_error.Illegal_argument m)
+let err_state m = Error (Api_error.Invalid_state m)
+
+let platform t = t.pf
+let machine t = t.machine
+let identity t = t.identity
+let metadata_base _ = sm_image_bytes
+let metadata_limit _ = Pf.Platform.sm_memory_bytes
+let memory_units t = Resource.count t.resources Resource.Memory_resource
+let memory_unit_bytes t = t.unit_bytes
+let set_os_trap_handler t f = t.os_handler <- f
+
+(* ------------------------------------------------------------------ *)
+(* Locking: every API call is a transaction under fine-grained locks;
+   a held lock aborts the call with [Concurrent_call] (§V-A). *)
+
+let with_flag get set f =
+  if get () then Error Api_error.Concurrent_call
+  else begin
+    set true;
+    Fun.protect ~finally:(fun () -> set false) f
+  end
+
+let with_enclave_lock e f =
+  with_flag (fun () -> e.e_lock) (fun v -> e.e_lock <- v) f
+
+let with_thread_lock th f =
+  with_flag (fun () -> th.t_lock) (fun v -> th.t_lock <- v) f
+
+let with_resource_lock t f =
+  with_flag (fun () -> t.resource_lock) (fun v -> t.resource_lock <- v) f
+
+let try_lock_enclave t ~eid =
+  match Hashtbl.find_opt t.enclaves eid with
+  | Some e when not e.e_lock ->
+      e.e_lock <- true;
+      true
+  | Some _ | None -> false
+
+let unlock_enclave t ~eid =
+  match Hashtbl.find_opt t.enclaves eid with
+  | Some e -> e.e_lock <- false
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Lookups *)
+
+let find_enclave t eid =
+  match Hashtbl.find_opt t.enclaves eid with
+  | Some e -> Ok e
+  | None -> err_arg "unknown enclave id"
+
+let find_thread t tid =
+  match Hashtbl.find_opt t.threads tid with
+  | Some th -> Ok th
+  | None -> err_arg "unknown thread id"
+
+let enclave_of_domain t d = Hashtbl.find_opt t.domain_of_enclave d
+
+let caller_domain t = function
+  | Os -> Ok Hw.Trap.domain_untrusted
+  | Enclave_caller eid ->
+      let* e = find_enclave t eid in
+      Ok e.domain
+
+let require_os = function
+  | Os -> ok
+  | Enclave_caller _ -> Error Api_error.Unauthorized
+
+let require_enclave t = function
+  | Os -> Error Api_error.Unauthorized
+  | Enclave_caller eid -> find_enclave t eid
+
+let enclaves t =
+  Hashtbl.fold (fun eid _ acc -> eid :: acc) t.enclaves [] |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Generic resources (Fig. 2) *)
+
+let unit_range t rid = (rid * t.unit_bytes, (rid + 1) * t.unit_bytes)
+
+let resource_state t kind ~rid = Resource.state t.resources kind ~rid
+
+let sync_memory_owner t ~rid domain =
+  let lo, hi = unit_range t rid in
+  match t.pf.Pf.Platform.assign_range ~lo ~hi domain with
+  | Ok () -> ok
+  | Error m -> err_arg m
+
+let block_resource t ~caller kind ~rid =
+  with_resource_lock t (fun () ->
+      let* by = caller_domain t caller in
+      Resource.block t.resources kind ~rid ~by)
+
+let clean_resource t ~caller kind ~rid =
+  with_resource_lock t (fun () ->
+      let* () = require_os caller in
+      let* _prev = Resource.clean t.resources kind ~rid in
+      match kind with
+      | Resource.Memory_resource ->
+          let lo, hi = unit_range t rid in
+          t.pf.Pf.Platform.clean_range ~lo ~hi;
+          sync_memory_owner t ~rid Hw.Trap.domain_untrusted
+      | Resource.Core_resource ->
+          Hw.Machine.reset_core_state (Hw.Machine.core t.machine rid);
+          ok)
+
+(* Completing a memory grant: hardware ownership flips and, for a
+   loading enclave, the pages join its load pool. *)
+let finish_memory_grant t ~rid e =
+  let* () = sync_memory_owner t ~rid e.domain in
+  let lo, hi = unit_range t rid in
+  let pages = List.init ((hi - lo) / page) (fun i -> (lo / page) + i) in
+  e.free_pages <- List.sort compare (e.free_pages @ pages);
+  ok
+
+let grant_resource t ~caller kind ~rid ~to_ =
+  with_resource_lock t (fun () ->
+      let* () = require_os caller in
+      match (kind, to_) with
+      | Resource.Core_resource, To_os ->
+          Resource.grant t.resources kind ~rid ~to_:Hw.Trap.domain_untrusted
+            ~auto_accept:true
+      | Resource.Core_resource, To_enclave eid ->
+          let* e = find_enclave t eid in
+          Resource.grant t.resources kind ~rid ~to_:e.domain ~auto_accept:false
+      | Resource.Memory_resource, To_os ->
+          let* () =
+            Resource.grant t.resources kind ~rid ~to_:Hw.Trap.domain_untrusted
+              ~auto_accept:true
+          in
+          sync_memory_owner t ~rid Hw.Trap.domain_untrusted
+      | Resource.Memory_resource, To_enclave eid ->
+          let* e = find_enclave t eid in
+          (* While loading, the monitor performs all operations on the
+             enclave's behalf, so the grant completes immediately. *)
+          let auto = e.lifecycle = Loading in
+          let* () =
+            Resource.grant t.resources kind ~rid ~to_:e.domain ~auto_accept:auto
+          in
+          if auto then finish_memory_grant t ~rid e else ok)
+
+let accept_resource t ~caller kind ~rid =
+  with_resource_lock t (fun () ->
+      let* e = require_enclave t caller in
+      let* () = Resource.accept t.resources kind ~rid ~by:e.domain in
+      match kind with
+      | Resource.Memory_resource -> finish_memory_grant t ~rid e
+      | Resource.Core_resource -> ok)
+
+(* ------------------------------------------------------------------ *)
+(* Metadata slots: the OS picks addresses inside the monitor's metadata
+   area; the monitor enforces containment and non-overlap (§V-B). *)
+
+let claim_slot t ~addr ~len =
+  let base = metadata_base t and limit = metadata_limit t in
+  if addr < base || addr + len > limit then
+    err_arg "metadata slot outside the monitor's metadata area"
+  else if addr mod 8 <> 0 then err_arg "metadata slot must be 8-aligned"
+  else begin
+    let overlaps =
+      Hashtbl.fold
+        (fun a l acc -> acc || (addr < a + l && a < addr + len))
+        t.slots false
+    in
+    if overlaps then err_state "metadata slot overlaps an existing structure"
+    else begin
+      Hashtbl.replace t.slots addr len;
+      ok
+    end
+  end
+
+let release_slot t ~addr = Hashtbl.remove t.slots addr
+
+(* ------------------------------------------------------------------ *)
+(* Page-table plumbing. The monitor has M-mode authority: it reads and
+   writes enclave page tables directly in physical memory. *)
+
+let mem t = Hw.Machine.mem t.machine
+
+let pt_perms_none = Hw.Page_table.{ r = false; w = false; x = false; u = false }
+
+(* Descend from the root to the table that holds [vaddr]'s entry at
+   [level]; every intermediate node must already exist. *)
+let find_table t e ~vaddr ~level =
+  match e.root_ppn with
+  | None -> err_state "enclave has no root page table"
+  | Some root ->
+      let rec go ppn l =
+        if l = level then Ok ppn
+        else begin
+          let idx = (vaddr lsr (12 + (9 * l))) land 511 in
+          let pte_addr = Hw.Phys_mem.page_base ppn + (8 * idx) in
+          match Hw.Page_table.decode_pte (Hw.Phys_mem.read_u64 (mem t) pte_addr) with
+          | Error () -> err_state "missing intermediate page table"
+          | Ok (_, _, true) -> err_state "superpage in the way"
+          | Ok (next, _, false) -> go next (l - 1)
+        end
+      in
+      go root (Hw.Page_table.levels - 1)
+
+let write_pte t ~table_ppn ~vaddr ~level ~pte =
+  let idx = (vaddr lsr (12 + (9 * level))) land 511 in
+  let pte_addr = Hw.Phys_mem.page_base table_ppn + (8 * idx) in
+  match Hw.Page_table.decode_pte (Hw.Phys_mem.read_u64 (mem t) pte_addr) with
+  | Ok _ -> err_state "page-table entry already present"
+  | Error () ->
+      Hw.Phys_mem.write_u64 (mem t) pte_addr pte;
+      ok
+
+(* Pop the enclave's next physical page, enforcing the ascending-order
+   rule that keeps the measurement descriptive (§VI-A). *)
+let alloc_enclave_page e =
+  match e.free_pages with
+  | [] -> Error (Api_error.Out_of_resources "enclave has no free pages")
+  | ppn :: rest ->
+      if ppn <= e.last_alloc_ppn then
+        err_state "physical pages must be loaded in ascending order"
+      else begin
+        e.free_pages <- rest;
+        e.last_alloc_ppn <- ppn;
+        Ok ppn
+      end
+
+let in_evrange e ~vaddr ~len =
+  vaddr >= e.evbase && vaddr + len <= e.evbase + e.evsize
+
+(* ------------------------------------------------------------------ *)
+(* Enclave lifecycle (Fig. 3) *)
+
+let max_vaddr = 1 lsl Hw.Page_table.vpn_bits
+
+let create_enclave t ~caller ~eid ~evbase ~evsize ?(mailbox_slots = 4) () =
+  let* () = require_os caller in
+  if Hashtbl.mem t.enclaves eid then err_state "enclave id already in use"
+  else if evbase mod page <> 0 || evsize mod page <> 0 || evsize <= 0 then
+    err_arg "evrange must be page-aligned and non-empty"
+  else if evbase < 0 || evbase + evsize > max_vaddr then
+    err_arg "evrange outside the virtual address space"
+  else if mailbox_slots <= 0 || mailbox_slots > 64 then
+    err_arg "mailbox count out of range"
+  else begin
+    let* () = claim_slot t ~addr:eid ~len:enclave_slot_bytes in
+    let meas = Measurement.start () in
+    Measurement.extend_create meas ~evbase ~evsize ~mailbox_count:mailbox_slots;
+    let domain = t.next_domain in
+    t.next_domain <- t.next_domain + 1;
+    let e =
+      {
+        eid;
+        domain;
+        evbase;
+        evsize;
+        lifecycle = Loading;
+        meas_ctx = Some meas;
+        measurement = None;
+        root_ppn = None;
+        free_pages = [];
+        last_alloc_ppn = -1;
+        data_loaded = false;
+        vmap = Hashtbl.create 64;
+        pmap = Hashtbl.create 64;
+        mailboxes = Mailbox.create ~slots:mailbox_slots;
+        threads = [];
+        fault_handler = None;
+        e_lock = false;
+      }
+    in
+    Hashtbl.replace t.enclaves eid e;
+    Hashtbl.replace t.domain_of_enclave domain eid;
+    ok
+  end
+
+let require_loading e =
+  match e.lifecycle with
+  | Loading -> ok
+  | Initialized -> err_state "enclave is already initialized"
+
+let require_initialized e =
+  match e.lifecycle with
+  | Initialized -> ok
+  | Loading -> err_state "enclave is still loading"
+
+let extend_measurement e f =
+  match e.meas_ctx with
+  | Some ctx ->
+      f ctx;
+      ok
+  | None -> err_state "measurement already finalized"
+
+let allocate_page_table t ~caller ~eid ~vaddr ~level =
+  let* () = require_os caller in
+  let* e = find_enclave t eid in
+  with_enclave_lock e (fun () ->
+      let* () = require_loading e in
+      if level < 0 || level >= Hw.Page_table.levels then
+        err_arg "bad page-table level"
+      else if vaddr mod page <> 0 || vaddr < 0 || vaddr >= max_vaddr then
+        err_arg "bad page-table vaddr"
+      else if e.data_loaded then
+        err_state "page tables must be initialized before any data"
+      else begin
+        let* ppn = alloc_enclave_page e in
+        Hw.Phys_mem.zero_range (mem t) ~pos:(Hw.Phys_mem.page_base ppn) ~len:page;
+        let* () =
+          if level = Hw.Page_table.levels - 1 then begin
+            match e.root_ppn with
+            | Some _ -> err_state "root page table already allocated"
+            | None ->
+                e.root_ppn <- Some ppn;
+                ok
+          end
+          else begin
+            let* parent = find_table t e ~vaddr ~level:(level + 1) in
+            write_pte t ~table_ppn:parent ~vaddr ~level:(level + 1)
+              ~pte:(Hw.Page_table.encode_pte ~ppn ~perms:pt_perms_none ~valid:true)
+          end
+        in
+        extend_measurement e (fun ctx ->
+            Measurement.extend_page_table ctx ~vaddr ~level)
+      end)
+
+let load_page t ~caller ~eid ~vaddr ~src_paddr ~r ~w ~x =
+  let* () = require_os caller in
+  let* e = find_enclave t eid in
+  with_enclave_lock e (fun () ->
+      let* () = require_loading e in
+      if vaddr mod page <> 0 || not (in_evrange e ~vaddr ~len:page) then
+        err_arg "load_page: vaddr must be a page inside evrange"
+      else if src_paddr mod page <> 0 then err_arg "load_page: unaligned source"
+      else if
+        t.pf.Pf.Platform.owner_at ~paddr:src_paddr <> Hw.Trap.domain_untrusted
+      then err_arg "load_page: source must be untrusted memory"
+      else if Hashtbl.mem e.vmap (vaddr / page) then
+        err_state "load_page: virtual page already mapped (aliasing forbidden)"
+      else begin
+        let* ppn = alloc_enclave_page e in
+        let contents =
+          Hw.Phys_mem.read_string (mem t) ~pos:src_paddr ~len:page
+        in
+        Hw.Phys_mem.write_string (mem t) ~pos:(Hw.Phys_mem.page_base ppn) contents;
+        let* table = find_table t e ~vaddr ~level:0 in
+        let perms = Hw.Page_table.{ r; w; x; u = true } in
+        let* () =
+          write_pte t ~table_ppn:table ~vaddr ~level:0
+            ~pte:(Hw.Page_table.encode_pte ~ppn ~perms ~valid:true)
+        in
+        Hashtbl.replace e.vmap (vaddr / page) ppn;
+        Hashtbl.replace e.pmap ppn (vaddr / page);
+        e.data_loaded <- true;
+        extend_measurement e (fun ctx ->
+            Measurement.extend_page ctx ~vaddr ~r ~w ~x ~contents)
+      end)
+
+let map_shared t ~caller ~eid ~vaddr ~src_paddr ~len =
+  let* () = require_os caller in
+  let* e = find_enclave t eid in
+  with_enclave_lock e (fun () ->
+      let* () = require_loading e in
+      if
+        vaddr mod page <> 0 || src_paddr mod page <> 0 || len <= 0
+        || len mod page <> 0
+      then err_arg "map_shared: page alignment required"
+      else if vaddr < 0 || vaddr + len > max_vaddr then
+        err_arg "map_shared: outside the virtual address space"
+      else if vaddr + len > e.evbase && e.evbase + e.evsize > vaddr then
+        err_arg "map_shared: window overlaps evrange"
+      else begin
+        let pages_n = len / page in
+        let rec check_source i =
+          if i = pages_n then ok
+          else if
+            t.pf.Pf.Platform.owner_at ~paddr:(src_paddr + (i * page))
+            <> Hw.Trap.domain_untrusted
+          then err_arg "map_shared: source must be untrusted memory"
+          else check_source (i + 1)
+        in
+        let* () = check_source 0 in
+        let rec install i =
+          if i = pages_n then ok
+          else begin
+            let va = vaddr + (i * page) in
+            let* table = find_table t e ~vaddr:va ~level:0 in
+            let perms = Hw.Page_table.{ r = true; w = true; x = false; u = true } in
+            let* () =
+              write_pte t ~table_ppn:table ~vaddr:va ~level:0
+                ~pte:
+                  (Hw.Page_table.encode_pte ~ppn:((src_paddr / page) + i) ~perms
+                     ~valid:true)
+            in
+            install (i + 1)
+          end
+        in
+        let* () = install 0 in
+        extend_measurement e (fun ctx -> Measurement.extend_shared ctx ~vaddr ~len)
+      end)
+
+let load_thread t ~caller ~eid ~tid ~entry_pc ~entry_sp =
+  let* () = require_os caller in
+  let* e = find_enclave t eid in
+  with_enclave_lock e (fun () ->
+      let* () = require_loading e in
+      if Hashtbl.mem t.threads tid then err_state "thread id already in use"
+      else begin
+        let* () = claim_slot t ~addr:tid ~len:thread_slot_bytes in
+        let th =
+          {
+            tid;
+            t_owner = Some eid;
+            t_offered = None;
+            phase = T_assigned;
+            entry_pc;
+            entry_sp;
+            aex_state = None;
+            t_lock = false;
+          }
+        in
+        Hashtbl.replace t.threads tid th;
+        e.threads <- tid :: e.threads;
+        extend_measurement e (fun ctx ->
+            Measurement.extend_thread ctx ~entry_pc ~entry_sp)
+      end)
+
+let init_enclave t ~caller ~eid =
+  let* () = require_os caller in
+  let* e = find_enclave t eid in
+  with_enclave_lock e (fun () ->
+      let* () = require_loading e in
+      match e.root_ppn with
+      | None -> err_state "init_enclave: no page tables"
+      | Some _ -> begin
+          match e.meas_ctx with
+          | None -> err_state "measurement already finalized"
+          | Some ctx ->
+              e.measurement <- Some (Measurement.finalize ctx);
+              e.meas_ctx <- None;
+              e.lifecycle <- Initialized;
+              ok
+        end)
+
+let delete_enclave t ~caller ~eid =
+  let* () = require_os caller in
+  let* e = find_enclave t eid in
+  with_enclave_lock e (fun () ->
+      let busy =
+        List.exists
+          (fun tid ->
+            match Hashtbl.find_opt t.threads tid with
+            | Some { phase = T_running _; _ } -> true
+            | Some _ | None -> false)
+          e.threads
+      in
+      if busy then err_state "delete_enclave: a thread is still scheduled"
+      else begin
+        (* Block every memory unit the enclave owns: the OS must clean
+           them before re-allocation (Fig. 2 / Fig. 3). *)
+        List.iter
+          (fun rid ->
+            match
+              Resource.block t.resources Resource.Memory_resource ~rid
+                ~by:Hw.Trap.domain_sm
+            with
+            | Ok () -> ()
+            | Error _ -> ())
+          (Resource.units_owned_by t.resources Resource.Memory_resource e.domain);
+        List.iter
+          (fun tid ->
+            match Hashtbl.find_opt t.threads tid with
+            | Some th ->
+                th.t_owner <- None;
+                th.t_offered <- None;
+                th.phase <- T_available;
+                th.aex_state <- None;
+                th.entry_pc <- 0L;
+                th.entry_sp <- 0L
+            | None -> ())
+          e.threads;
+        Mailbox.wipe e.mailboxes;
+        Hashtbl.remove t.enclaves eid;
+        Hashtbl.remove t.domain_of_enclave e.domain;
+        release_slot t ~addr:eid;
+        ok
+      end)
+
+let enclave_state t ~eid =
+  let* e = find_enclave t eid in
+  Ok (match e.lifecycle with Loading -> `Loading | Initialized -> `Initialized)
+
+let enclave_measurement t ~eid =
+  let* e = find_enclave t eid in
+  match e.measurement with
+  | Some m -> Ok m
+  | None -> err_state "enclave not yet initialized"
+
+let enclave_domain t ~eid =
+  let* e = find_enclave t eid in
+  Ok e.domain
+
+(* ------------------------------------------------------------------ *)
+(* Threads (Fig. 4) *)
+
+let thread_state t ~tid =
+  let* th = find_thread t tid in
+  Ok
+    (match (th.phase, th.t_owner) with
+    | T_available, _ -> `Available
+    | T_assigned, Some eid -> `Assigned eid
+    | T_running core, Some eid -> `Running (eid, core)
+    | (T_assigned | T_running _), None -> `Available)
+
+let thread_has_aex_state t ~tid =
+  let* th = find_thread t tid in
+  Ok (th.aex_state <> None)
+
+let assign_thread t ~caller ~eid ~tid =
+  let* () = require_os caller in
+  let* _e = find_enclave t eid in
+  let* th = find_thread t tid in
+  with_thread_lock th (fun () ->
+      match th.phase with
+      | T_available ->
+          th.t_offered <- Some eid;
+          ok
+      | T_assigned | T_running _ -> err_state "assign_thread: thread is not available")
+
+let accept_thread t ~caller ~tid ?(entry_pc = 0L) ?(entry_sp = 0L) () =
+  let* e = require_enclave t caller in
+  let* th = find_thread t tid in
+  with_thread_lock th (fun () ->
+      match th.t_offered with
+      | Some eid when eid = e.eid ->
+          th.t_offered <- None;
+          th.t_owner <- Some e.eid;
+          th.phase <- T_assigned;
+          th.entry_pc <- entry_pc;
+          th.entry_sp <- entry_sp;
+          th.aex_state <- None;
+          e.threads <- tid :: e.threads;
+          ok
+      | Some _ | None -> Error Api_error.Unauthorized)
+
+let release_thread t ~caller ~tid =
+  let* e = require_enclave t caller in
+  let* th = find_thread t tid in
+  with_thread_lock th (fun () ->
+      match (th.phase, th.t_owner) with
+      | T_assigned, Some owner when owner = e.eid ->
+          th.t_owner <- None;
+          th.phase <- T_available;
+          th.aex_state <- None;
+          e.threads <- List.filter (fun x -> x <> tid) e.threads;
+          ok
+      | T_running _, Some owner when owner = e.eid ->
+          err_state "release_thread: thread is running"
+      | _, _ -> Error Api_error.Unauthorized)
+
+let unassign_thread t ~caller ~tid =
+  let* () = require_os caller in
+  let* th = find_thread t tid in
+  with_thread_lock th (fun () ->
+      match (th.phase, th.t_owner) with
+      | T_running _, _ -> err_state "unassign_thread: thread is running"
+      | _, Some owner when Hashtbl.mem t.enclaves owner ->
+          (* The OS cannot rip a live enclave's thread away. *)
+          Error Api_error.Unauthorized
+      | _, (Some _ | None) ->
+          th.t_owner <- None;
+          th.t_offered <- None;
+          th.phase <- T_available;
+          th.aex_state <- None;
+          ok)
+
+let delete_thread t ~caller ~tid =
+  let* () = require_os caller in
+  let* th = find_thread t tid in
+  with_thread_lock th (fun () ->
+      match th.phase with
+      | T_available ->
+          Hashtbl.remove t.threads tid;
+          release_slot t ~addr:tid;
+          ok
+      | T_assigned | T_running _ ->
+          err_state "delete_thread: thread is still assigned")
+
+(* ------------------------------------------------------------------ *)
+(* Enclave execution, AEX, and the trap funnel (Fig. 1) *)
+
+let running_thread_on t core_id =
+  Hashtbl.fold
+    (fun _ th acc ->
+      match th.phase with
+      | T_running c when c = core_id -> Some th
+      | T_running _ | T_assigned | T_available -> acc)
+    t.threads None
+
+let enter_enclave t ~caller ~eid ~tid ~core =
+  let* () = require_os caller in
+  let* e = find_enclave t eid in
+  with_enclave_lock e (fun () ->
+      let* () = require_initialized e in
+      let* th = find_thread t tid in
+      with_thread_lock th (fun () ->
+          if core < 0 || core >= Hw.Machine.core_count t.machine then
+            err_arg "no such core"
+          else begin
+            let c = Hw.Machine.core t.machine core in
+            let* core_owner =
+              match Resource.owner t.resources Resource.Core_resource ~rid:core with
+              | Some d -> Ok d
+              | None -> err_state "core is not owned"
+            in
+            if core_owner <> Hw.Trap.domain_untrusted && core_owner <> e.domain
+            then Error Api_error.Unauthorized
+            else if c.Hw.Machine.domain <> Hw.Trap.domain_untrusted then
+              err_state "core is already inside an enclave"
+            else begin
+              match (th.phase, th.t_owner) with
+              | T_assigned, Some owner when owner = eid ->
+                  (* Core re-allocation: flush time-multiplexed state,
+                     install the enclave's private translation. *)
+                  t.pf.Pf.Platform.enter_domain ~core:c e.domain;
+                  Hw.Machine.reset_core_state c;
+                  c.Hw.Machine.satp_root <- e.root_ppn;
+                  c.Hw.Machine.pc <- th.entry_pc;
+                  Hw.Machine.write_reg c Hw.Isa.sp th.entry_sp;
+                  Hw.Machine.write_reg c Hw.Isa.a0
+                    (if th.aex_state <> None then 1L else 0L);
+                  c.Hw.Machine.halted <- false;
+                  th.phase <- T_running core;
+                  ok
+              | (T_assigned | T_running _ | T_available), _ ->
+                  err_state "enter_enclave: thread is not assigned to this enclave"
+            end
+          end))
+
+(* Return a core to the untrusted domain with no architected or
+   microarchitectural residue. *)
+let scrub_core t c =
+  Hw.Machine.reset_core_state c;
+  c.Hw.Machine.satp_root <- None;
+  t.pf.Pf.Platform.enter_domain ~core:c Hw.Trap.domain_untrusted;
+  c.Hw.Machine.halted <- true
+
+let exit_enclave t ~caller ~core =
+  let* e = require_enclave t caller in
+  if core < 0 || core >= Hw.Machine.core_count t.machine then
+    err_arg "no such core"
+  else begin
+    let c = Hw.Machine.core t.machine core in
+    if c.Hw.Machine.domain <> e.domain then Error Api_error.Unauthorized
+    else begin
+      match running_thread_on t core with
+      | None -> err_state "exit_enclave: no thread is running here"
+      | Some th ->
+          th.phase <- T_assigned;
+          th.aex_state <- None;
+          scrub_core t c;
+          ok
+    end
+  end
+
+let set_fault_handler t ~caller ~handler =
+  let* e = require_enclave t caller in
+  let* () = require_initialized e in
+  e.fault_handler <- Some handler;
+  ok
+
+(* The AEX state dump lives in thread metadata (§V-C); the owning
+   enclave reads it back to resume the interrupted computation, which
+   also clears the dump. Layout: x1..x31 then the interrupted pc, as
+   32 little-endian 64-bit words (x0 is omitted — it is always zero). *)
+let aex_dump_bytes = 32 * 8
+
+let read_aex_state t ~caller ~tid =
+  let* e = require_enclave t caller in
+  let* th = find_thread t tid in
+  with_thread_lock th (fun () ->
+      if th.t_owner <> Some e.eid then Error Api_error.Unauthorized
+      else begin
+        match th.aex_state with
+        | None -> err_state "no AEX state is pending"
+        | Some dump ->
+            th.aex_state <- None;
+            let b = Bytes.create aex_dump_bytes in
+            for i = 1 to 31 do
+              Bytes.set_int64_le b ((i - 1) * 8) dump.(i)
+            done;
+            Bytes.set_int64_le b (31 * 8) dump.(32);
+            Ok (Bytes.unsafe_to_string b)
+      end)
+
+(* Asynchronous enclave exit (§V-C): save the interrupted context into
+   the thread's AEX area, then hand a clean core to the OS. *)
+let perform_aex t c th =
+  let dump = Array.make 33 0L in
+  Array.blit c.Hw.Machine.regs 0 dump 0 32;
+  dump.(32) <- c.Hw.Machine.pc;
+  th.aex_state <- Some dump;
+  th.phase <- T_assigned;
+  scrub_core t c
+
+(* ------------------------------------------------------------------ *)
+(* Mailboxes (Fig. 5) *)
+
+let untrusted_measurement = String.make Measurement.size '\000'
+
+let caller_measurement t = function
+  | Os -> Some untrusted_measurement
+  | Enclave_caller eid -> begin
+      match Hashtbl.find_opt t.enclaves eid with
+      | Some e -> e.measurement
+      | None -> None
+    end
+
+let sender_of_caller = function
+  | Os -> Mailbox.From_os
+  | Enclave_caller eid -> Mailbox.From_enclave eid
+
+let accept_mail t ~caller ~sender =
+  let* e = require_enclave t caller in
+  let* () = require_initialized e in
+  with_enclave_lock e (fun () -> Mailbox.accept e.mailboxes ~sender)
+
+let send_mail t ~caller ~recipient ~msg =
+  let* r = find_enclave t recipient in
+  let* () = require_initialized r in
+  let* meas =
+    match caller_measurement t caller with
+    | Some m -> Ok m
+    | None -> err_state "sender has no measurement yet"
+  in
+  with_enclave_lock r (fun () ->
+      Mailbox.deposit r.mailboxes ~sender:(sender_of_caller caller)
+        ~sender_measurement:meas ~msg)
+
+let get_mail t ~caller ~sender =
+  let* e = require_enclave t caller in
+  with_enclave_lock e (fun () -> Mailbox.retrieve e.mailboxes ~sender)
+
+(* ------------------------------------------------------------------ *)
+(* Attestation support (§VI) *)
+
+let get_field t = function
+  | Field_public_key ->
+      Crypto.Schnorr.public_key_to_bytes
+        (Crypto.Schnorr.public_key t.identity.Boot.attestation_key)
+  | Field_certificates ->
+      String.concat ""
+        (List.map
+           (fun c ->
+             let s = Crypto.Cert.serialize c in
+             let b = Bytes.create 4 in
+             Bytes.set_int32_le b 0 (Int32.of_int (String.length s));
+             Bytes.unsafe_to_string b ^ s)
+           t.identity.Boot.certificates)
+  | Field_sm_measurement -> t.identity.Boot.sm_measurement
+  | Field_signing_measurement -> t.signing_measurement
+
+let get_signing_key t ~caller =
+  let* e = require_enclave t caller in
+  match e.measurement with
+  | Some m when Sanctorum_util.Bytesx.constant_time_equal m t.signing_measurement
+    ->
+      Ok t.identity.Boot.attestation_key
+  | Some _ | None -> Error Api_error.Unauthorized
+
+(* ------------------------------------------------------------------ *)
+(* The ecall ABI *)
+
+module Ecall = struct
+  let exit_enclave = 1
+  let accept_mail = 2
+  let send_mail = 3
+  let get_mail = 4
+  let block_resource = 5
+  let accept_resource = 6
+  let accept_thread = 7
+  let release_thread = 8
+  let set_fault_handler = 9
+  let read_aex_state = 10
+
+  let error_code = function
+    | Api_error.Illegal_argument _ -> 1L
+    | Api_error.Unauthorized -> 2L
+    | Api_error.Concurrent_call -> 3L
+    | Api_error.Invalid_state _ -> 4L
+    | Api_error.Out_of_resources _ -> 5L
+end
+
+(* Copy bytes between monitor space and an enclave's virtual memory,
+   through the enclave's own page tables (monitor authority bypasses
+   the walk checks). *)
+let enclave_vaddr_to_paddr t e vaddr =
+  match e.root_ppn with
+  | None -> None
+  | Some root -> begin
+      match
+        Hw.Page_table.walk (mem t) ~root_ppn:root ~vaddr ~pte_fetch_ok:(fun _ ->
+            true)
+      with
+      | Ok (ppn, _) ->
+          Some (Hw.Phys_mem.page_base ppn lor (vaddr land (page - 1)))
+      | Error _ -> None
+    end
+
+let read_enclave_bytes t e ~vaddr ~len =
+  let buf = Buffer.create len in
+  let rec go va remaining =
+    if remaining = 0 then Some (Buffer.contents buf)
+    else begin
+      match enclave_vaddr_to_paddr t e va with
+      | None -> None
+      | Some pa ->
+          let chunk = min remaining (page - (va land (page - 1))) in
+          Buffer.add_string buf (Hw.Phys_mem.read_string (mem t) ~pos:pa ~len:chunk);
+          go (va + chunk) (remaining - chunk)
+    end
+  in
+  go vaddr len
+
+let write_enclave_bytes t e ~vaddr data =
+  let rec go va off =
+    if off = String.length data then true
+    else begin
+      match enclave_vaddr_to_paddr t e va with
+      | None -> false
+      | Some pa ->
+          let chunk = min (String.length data - off) (page - (va land (page - 1))) in
+          Hw.Phys_mem.write_string (mem t) ~pos:pa (String.sub data off chunk);
+          go (va + chunk) (off + chunk)
+    end
+  in
+  go vaddr 0
+
+let handle_ecall t (c : Hw.Machine.core) e =
+  let caller = Enclave_caller e.eid in
+  let arg n = Hw.Machine.read_reg c n in
+  let a0 = Int64.to_int (arg Hw.Isa.a0) in
+  let a1 = Int64.to_int (arg Hw.Isa.a1) in
+  let a2 = Int64.to_int (arg Hw.Isa.a2) in
+  let call = Int64.to_int (arg Hw.Isa.a7) in
+  let sender_of_int v =
+    if v = 0 then Mailbox.From_os else Mailbox.From_enclave v
+  in
+  let finish result =
+    let code = match result with Ok () -> 0L | Error e -> Ecall.error_code e in
+    Hw.Machine.write_reg c Hw.Isa.a0 code;
+    c.Hw.Machine.pc <- Int64.add c.Hw.Machine.pc 4L
+  in
+  if call = Ecall.exit_enclave then begin
+    match exit_enclave t ~caller ~core:c.Hw.Machine.id with
+    | Ok () -> () (* core has been scrubbed; nothing to write back *)
+    | Error err -> finish (Error err)
+  end
+  else if call = Ecall.accept_mail then
+    finish (accept_mail t ~caller ~sender:(sender_of_int a0))
+  else if call = Ecall.send_mail then begin
+    match read_enclave_bytes t e ~vaddr:a1 ~len:Mailbox.message_size with
+    | None -> finish (err_arg "bad message buffer")
+    | Some msg -> finish (send_mail t ~caller ~recipient:a0 ~msg)
+  end
+  else if call = Ecall.get_mail then begin
+    match get_mail t ~caller ~sender:(sender_of_int a0) with
+    | Error err -> finish (Error err)
+    | Ok (msg, meas) ->
+        if
+          write_enclave_bytes t e ~vaddr:a1 msg
+          && write_enclave_bytes t e ~vaddr:a2 meas
+        then finish ok
+        else finish (err_arg "bad output buffer")
+  end
+  else if call = Ecall.block_resource then begin
+    let kind = if a0 = 0 then Resource.Core_resource else Resource.Memory_resource in
+    finish (block_resource t ~caller kind ~rid:a1)
+  end
+  else if call = Ecall.accept_resource then begin
+    let kind = if a0 = 0 then Resource.Core_resource else Resource.Memory_resource in
+    finish (accept_resource t ~caller kind ~rid:a1)
+  end
+  else if call = Ecall.accept_thread then
+    finish (accept_thread t ~caller ~tid:a0 ())
+  else if call = Ecall.release_thread then
+    finish (release_thread t ~caller ~tid:a0)
+  else if call = Ecall.set_fault_handler then
+    finish (set_fault_handler t ~caller ~handler:(arg Hw.Isa.a0))
+  else if call = Ecall.read_aex_state then begin
+    (* a0 = 0 means "the thread running on this core" — an enclave does
+       not otherwise know its own tid. *)
+    let tid =
+      if a0 <> 0 then a0
+      else
+        match running_thread_on t c.Hw.Machine.id with
+        | Some th -> th.tid
+        | None -> -1
+    in
+    match read_aex_state t ~caller ~tid with
+    | Error err -> finish (Error err)
+    | Ok dump ->
+        if write_enclave_bytes t e ~vaddr:a1 dump then finish ok
+        else finish (err_arg "bad output buffer")
+  end
+  else finish (err_arg "unknown monitor call")
+
+(* The M-mode trap funnel (Fig. 1). *)
+let on_trap t _machine (c : Hw.Machine.core) cause =
+  match enclave_of_domain t c.Hw.Machine.domain with
+  | None ->
+      (* Untrusted (or monitor-owned) context: straight delegation. *)
+      t.os_handler c cause
+  | Some eid -> begin
+      match Hashtbl.find_opt t.enclaves eid with
+      | None ->
+          (* Stale domain: scrub defensively. *)
+          (match running_thread_on t c.Hw.Machine.id with
+          | Some th -> perform_aex t c th
+          | None -> scrub_core t c);
+          t.os_handler c cause
+      | Some e -> begin
+          match cause with
+          | Hw.Trap.Interrupt _ -> begin
+              (* The OS may always de-schedule an enclave; the monitor
+                 cleans the core before the OS sees the event. *)
+              match running_thread_on t c.Hw.Machine.id with
+              | Some th ->
+                  perform_aex t c th;
+                  t.os_handler c cause
+              | None ->
+                  scrub_core t c;
+                  t.os_handler c cause
+            end
+          | Hw.Trap.Exception Hw.Trap.Ecall_user -> handle_ecall t c e
+          | Hw.Trap.Exception (Hw.Trap.Page_fault (_, va) as exc) -> begin
+              match e.fault_handler with
+              | Some h ->
+                  (* Deliver the fault to the enclave's own handler —
+                     the OS never observes faults inside evrange. *)
+                  Hw.Machine.write_reg c Hw.Isa.a0 va;
+                  Hw.Machine.write_reg c Hw.Isa.a1 13L (* load page fault code *);
+                  c.Hw.Machine.pc <- h
+              | None -> begin
+                  match running_thread_on t c.Hw.Machine.id with
+                  | Some th ->
+                      perform_aex t c th;
+                      t.os_handler c (Hw.Trap.Exception exc)
+                  | None ->
+                      scrub_core t c;
+                      t.os_handler c (Hw.Trap.Exception exc)
+                end
+            end
+          | Hw.Trap.Exception exc -> begin
+              match running_thread_on t c.Hw.Machine.id with
+              | Some th ->
+                  perform_aex t c th;
+                  t.os_handler c (Hw.Trap.Exception exc)
+              | None ->
+                  scrub_core t c;
+                  t.os_handler c (Hw.Trap.Exception exc)
+            end
+        end
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Boot *)
+
+let boot ~platform:pf ~identity ~signing_enclave_measurement =
+  let machine = pf.Pf.Platform.machine in
+  let unit_bytes = pf.Pf.Platform.alloc_unit in
+  let mem_bytes = Hw.Phys_mem.size (Hw.Machine.mem machine) in
+  let resources =
+    Resource.create
+      ~cores:(Hw.Machine.core_count machine)
+      ~memory_units:(mem_bytes / unit_bytes)
+  in
+  (* The monitor's own memory: owned by the monitor, never grantable. *)
+  let sm_units = Pf.Platform.sm_memory_bytes / unit_bytes in
+  for rid = 0 to sm_units - 1 do
+    Resource.force_owner resources Resource.Memory_resource ~rid
+      Hw.Trap.domain_sm
+  done;
+  let t =
+    {
+      pf;
+      machine;
+      identity;
+      signing_measurement = signing_enclave_measurement;
+      resources;
+      unit_bytes;
+      enclaves = Hashtbl.create 16;
+      threads = Hashtbl.create 16;
+      slots = Hashtbl.create 16;
+      domain_of_enclave = Hashtbl.create 16;
+      next_domain = 2;
+      os_handler =
+        (fun core cause ->
+          Format.eprintf "sanctorum: undelegated trap on core %d: %a@."
+            core.Hw.Machine.id Hw.Trap.pp_cause cause;
+          core.Hw.Machine.halted <- true);
+      resource_lock = false;
+    }
+  in
+  Hw.Machine.set_trap_handler machine (fun m c cause -> on_trap t m c cause);
+  t

@@ -1,0 +1,275 @@
+(** The Sanctorum security monitor (paper §V).
+
+    One [t] is the trusted software of one machine. It owns the bottom
+    of physical memory, interposes on every trap (Fig. 1), verifies the
+    untrusted OS's resource-management decisions against the security
+    state machine (Figs. 2–5), measures enclaves (§VI-A), and brokers
+    attestation (§VI-B/C).
+
+    The monitor is {e not} a kernel: every function here only checks and
+    executes a decision made by system software; it never chooses which
+    resource to hand to whom.
+
+    Modeling note (see DESIGN.md): the paper's monitor is bare-metal
+    M-mode C. Here the monitor runs natively and manipulates the
+    simulated machine, installed as the machine's M-mode trap handler;
+    callers are authenticated by the protection domain executing on the
+    calling core for the ecall path, and by the [caller] argument for
+    the native path (the harness stands in for scheduled software). *)
+
+type t
+
+type caller = Os | Enclave_caller of int  (** eid *)
+
+type resource_target = To_os | To_enclave of int
+
+type field =
+  | Field_public_key  (** the monitor's attestation public key *)
+  | Field_certificates  (** serialized certificate chain, root first *)
+  | Field_sm_measurement
+  | Field_signing_measurement  (** expected measurement of the signing enclave *)
+
+(** {2 Boot} *)
+
+val binary_image : string
+(** The canonical monitor binary this model stands in for; measured by
+    secure boot. *)
+
+val boot :
+  platform:Sanctorum_platform.Platform.t ->
+  identity:Boot.identity ->
+  signing_enclave_measurement:string ->
+  t
+(** Install the monitor on a platform: claims the monitor's memory,
+    builds resource metadata, hooks the machine's trap funnel. *)
+
+val platform : t -> Sanctorum_platform.Platform.t
+val machine : t -> Sanctorum_hw.Machine.t
+val identity : t -> Boot.identity
+
+val set_os_trap_handler :
+  t -> (Sanctorum_hw.Machine.core -> Sanctorum_hw.Trap.cause -> unit) -> unit
+(** Where the monitor delegates events that belong to the OS (Fig. 1);
+    always called {e after} any required AEX has cleaned the core. *)
+
+(** {2 Generic resources (Fig. 2)} *)
+
+val memory_units : t -> int
+val memory_unit_bytes : t -> int
+
+val block_resource :
+  t -> caller:caller -> Resource.kind -> rid:int -> unit Api_error.result
+
+val clean_resource :
+  t -> caller:caller -> Resource.kind -> rid:int -> unit Api_error.result
+
+val grant_resource :
+  t ->
+  caller:caller ->
+  Resource.kind ->
+  rid:int ->
+  to_:resource_target ->
+  unit Api_error.result
+
+val accept_resource :
+  t -> caller:caller -> Resource.kind -> rid:int -> unit Api_error.result
+
+val resource_state :
+  t -> Resource.kind -> rid:int -> Resource.state Api_error.result
+
+(** {2 Enclave lifecycle (Fig. 3)} *)
+
+val metadata_base : t -> int
+(** First physical address usable for enclave/thread metadata. The OS
+    picks concrete addresses inside the metadata area; the monitor
+    enforces safety (§V-B). *)
+
+val metadata_limit : t -> int
+val enclave_slot_bytes : int
+val thread_slot_bytes : int
+
+val create_enclave :
+  t ->
+  caller:caller ->
+  eid:int ->
+  evbase:int ->
+  evsize:int ->
+  ?mailbox_slots:int ->
+  unit ->
+  unit Api_error.result
+
+val allocate_page_table :
+  t -> caller:caller -> eid:int -> vaddr:int -> level:int -> unit Api_error.result
+(** Reserve the next physical page of the enclave for the page-table
+    node covering [vaddr] at [level] (2 = root). Tables must precede
+    data (§VI-A). *)
+
+val load_page :
+  t ->
+  caller:caller ->
+  eid:int ->
+  vaddr:int ->
+  src_paddr:int ->
+  r:bool ->
+  w:bool ->
+  x:bool ->
+  unit Api_error.result
+(** Copy one page from untrusted memory into the enclave's next
+    physical page and map it at [vaddr] (which must lie in evrange).
+    Extends the measurement with the contents and virtual layout. *)
+
+val map_shared :
+  t ->
+  caller:caller ->
+  eid:int ->
+  vaddr:int ->
+  src_paddr:int ->
+  len:int ->
+  unit Api_error.result
+(** Map a window of untrusted memory (outside evrange) into the
+    enclave's address space for OS communication; measured by geometry
+    only. *)
+
+val load_thread :
+  t ->
+  caller:caller ->
+  eid:int ->
+  tid:int ->
+  entry_pc:int64 ->
+  entry_sp:int64 ->
+  unit Api_error.result
+
+val init_enclave : t -> caller:caller -> eid:int -> unit Api_error.result
+(** Seal: finalize the measurement; threads become schedulable. *)
+
+val delete_enclave : t -> caller:caller -> eid:int -> unit Api_error.result
+(** Destroy the enclave and block all its resources; they must be
+    cleaned before re-allocation. Fails while any thread runs. *)
+
+val enclave_state : t -> eid:int -> [ `Loading | `Initialized ] Api_error.result
+val enclave_measurement : t -> eid:int -> string Api_error.result
+val enclave_domain : t -> eid:int -> Sanctorum_hw.Trap.domain Api_error.result
+val enclaves : t -> int list
+
+(** {2 Threads (Fig. 4)} *)
+
+val assign_thread :
+  t -> caller:caller -> eid:int -> tid:int -> unit Api_error.result
+(** OS offers an available thread to an enclave. *)
+
+(** [accept_thread] lets the accepting enclave re-point the recycled
+    thread's entry state; omitted values keep the (cleaned) defaults of
+    zero. *)
+val accept_thread :
+  t ->
+  caller:caller ->
+  tid:int ->
+  ?entry_pc:int64 ->
+  ?entry_sp:int64 ->
+  unit ->
+  unit Api_error.result
+val release_thread : t -> caller:caller -> tid:int -> unit Api_error.result
+val unassign_thread : t -> caller:caller -> tid:int -> unit Api_error.result
+val delete_thread : t -> caller:caller -> tid:int -> unit Api_error.result
+
+val thread_state :
+  t -> tid:int -> [ `Available | `Assigned of int | `Running of int * int ]
+  Api_error.result
+(** [`Running (eid, core)]. *)
+
+val thread_has_aex_state : t -> tid:int -> bool Api_error.result
+
+(** {2 Enclave execution} *)
+
+val enter_enclave :
+  t -> caller:caller -> eid:int -> tid:int -> core:int -> unit Api_error.result
+(** Schedule the thread onto the core: switches protection domain,
+    installs the enclave page table and entry state. The core then runs
+    until [exit_enclave] or an AEX. a0 is 1 when an AEX state dump is
+    pending, else 0. *)
+
+val exit_enclave : t -> caller:caller -> core:int -> unit Api_error.result
+(** Voluntary exit: cleans the core and returns it to the OS. *)
+
+val set_fault_handler :
+  t -> caller:caller -> handler:int64 -> unit Api_error.result
+(** An initialized enclave registers a virtual address to receive its
+    own faults (paging etc., §V-A). *)
+
+val read_aex_state : t -> caller:caller -> tid:int -> string Api_error.result
+(** The owning enclave reads (and clears) a pending AEX dump from the
+    thread's metadata to resume the interrupted computation (§V-C).
+    Layout: x1..x31 then the interrupted pc, 32 little-endian 64-bit
+    words. *)
+
+(** {2 Mailboxes (Fig. 5)} *)
+
+val accept_mail :
+  t -> caller:caller -> sender:Mailbox.sender -> unit Api_error.result
+
+val send_mail :
+  t -> caller:caller -> recipient:int -> msg:string -> unit Api_error.result
+
+val get_mail :
+  t -> caller:caller -> sender:Mailbox.sender -> (string * string) Api_error.result
+(** [(message, sender_measurement)]. *)
+
+(** {2 Attestation support (§VI)} *)
+
+val get_field : t -> field -> string
+
+val get_signing_key :
+  t -> caller:caller -> Sanctorum_crypto.Schnorr.secret_key Api_error.result
+(** Released only to the enclave whose measurement equals the hard-coded
+    signing-enclave measurement (§VI-C). *)
+
+(** {2 Test and experiment hooks} *)
+
+val try_lock_enclave : t -> eid:int -> bool
+(** Grab an enclave's fine-grained metadata lock, as a concurrent API
+    call would; lets tests exercise transaction aborts. *)
+
+val unlock_enclave : t -> eid:int -> unit
+
+val caller_measurement : t -> caller -> string option
+(** The measurement the monitor would record for messages sent by this
+    caller. *)
+
+(** {2 The ecall ABI (Fig. 1: API call via system exceptions)}
+
+    Enclave code running on the machine invokes the monitor with
+    [ecall]; a7 selects the call, a0..a2 carry arguments, and a0
+    returns 0 on success or a positive {!Api_error.t} code. *)
+
+module Ecall : sig
+  val exit_enclave : int
+
+  (** [accept_mail]: a0 = sender eid, 0 for the OS. *)
+  val accept_mail : int
+
+  (** [send_mail]: a0 = recipient eid, a1 = message vaddr. *)
+  val send_mail : int
+
+  (** [get_mail]: a0 = sender eid (0 = OS), a1 = out message vaddr,
+      a2 = out measurement vaddr. *)
+  val get_mail : int
+
+  (** [block_resource]: a0 = kind (0 core, 1 memory), a1 = rid. *)
+  val block_resource : int
+
+  val accept_resource : int
+
+  (** [accept_thread]: a0 = tid. *)
+  val accept_thread : int
+
+  val release_thread : int
+
+  (** [set_fault_handler]: a0 = handler vaddr. *)
+  val set_fault_handler : int
+
+  (** [read_aex_state]: a0 = tid (0 = the calling thread), a1 = output
+      buffer vaddr (256 bytes: x1..x31 then the interrupted pc). *)
+  val read_aex_state : int
+
+  val error_code : Api_error.t -> int64
+end

@@ -1,0 +1,1 @@
+lib/crypto/bignum.ml: Array Char Format Hashtbl Sanctorum_util Stdlib String

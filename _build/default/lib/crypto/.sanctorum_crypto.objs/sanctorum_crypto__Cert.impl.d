@@ -1,0 +1,1 @@
+lib/crypto/cert.ml: Bytes Format Int32 Printf Result Sanctorum_util Schnorr String

@@ -1,0 +1,1 @@
+lib/crypto/curve.ml: Bignum Field Format String

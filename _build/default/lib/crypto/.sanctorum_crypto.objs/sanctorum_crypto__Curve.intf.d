@@ -1,0 +1,1 @@
+lib/crypto/curve.mli: Bignum Field Format

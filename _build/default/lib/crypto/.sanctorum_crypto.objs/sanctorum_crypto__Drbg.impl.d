@@ -1,0 +1,1 @@
+lib/crypto/drbg.ml: Bignum Buffer Int64 Sanctorum_util Sha3

@@ -1,0 +1,1 @@
+lib/crypto/hkdf.ml: Char Hmac String

@@ -1,0 +1,1 @@
+lib/crypto/hmac.ml: Sanctorum_util Sha3 String

@@ -1,0 +1,1 @@
+lib/crypto/schnorr.ml: Bignum Curve Format Sanctorum_util Sha3 String

@@ -1,0 +1,39 @@
+(** A minimal certificate format for the manufacturer PKI the paper
+    assumes (§IV-B4): the chain conveys trust from a manufacturer root
+    key, through the device key, to the monitor's attestation key bound
+    to the monitor's measurement. *)
+
+type t = {
+  subject : string;  (** human-readable subject name *)
+  subject_key : Schnorr.public_key;
+  bound_measurement : string option;
+      (** for SM certificates: the measurement of the SM binary the key
+          was derived for *)
+  issuer : string;
+  signature : string;  (** issuer's signature over the TBS bytes *)
+}
+
+val to_be_signed : t -> string
+(** The deterministic byte string covered by [signature]. *)
+
+val issue :
+  issuer:string ->
+  issuer_key:Schnorr.secret_key ->
+  subject:string ->
+  subject_key:Schnorr.public_key ->
+  ?bound_measurement:string ->
+  unit ->
+  t
+
+val verify_signature : t -> issuer_key:Schnorr.public_key -> bool
+
+val verify_chain :
+  root:Schnorr.public_key -> t list -> (Schnorr.public_key, string) result
+(** [verify_chain ~root certs] checks a chain ordered root-first: each
+    certificate is verified with the previous subject key, the first
+    with [root]. Returns the final subject key on success. *)
+
+val serialize : t -> string
+val deserialize : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

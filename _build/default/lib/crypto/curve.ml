@@ -1,0 +1,109 @@
+(* Extended twisted Edwards coordinates (X : Y : Z : T) with
+   x = X/Z, y = Y/Z, T = XY/Z. The a = -1 formulas below are complete:
+   they are correct for every pair of inputs, including doublings and
+   the identity, so no special cases leak timing. *)
+
+type point = { x : Field.t; y : Field.t; z : Field.t; t : Field.t }
+
+let order =
+  Bignum.add
+    (Bignum.shift_left Bignum.one 252)
+    (Bignum.of_decimal "27742317777372353535851937790883648493")
+
+let cofactor = 8
+
+let d =
+  (* -121665/121666 mod p *)
+  Field.mul
+    (Field.neg (Field.of_int 121665))
+    (Field.inv (Field.of_int 121666))
+
+let two_d = Field.add d d
+let identity = { x = Field.zero; y = Field.one; z = Field.one; t = Field.zero }
+
+let is_on_curve_affine (x, y) =
+  (* -x^2 + y^2 = 1 + d x^2 y^2 *)
+  let x2 = Field.square x and y2 = Field.square y in
+  Field.equal
+    (Field.sub y2 x2)
+    (Field.add Field.one (Field.mul d (Field.mul x2 y2)))
+
+let to_affine p =
+  let zi = Field.inv p.z in
+  (Field.mul p.x zi, Field.mul p.y zi)
+
+let of_affine (x, y) =
+  if not (is_on_curve_affine (x, y)) then
+    invalid_arg "Curve.of_affine: point not on curve";
+  { x; y; z = Field.one; t = Field.mul x y }
+
+let is_on_curve p = is_on_curve_affine (to_affine p)
+
+let add p q =
+  let a = Field.mul (Field.sub p.y p.x) (Field.sub q.y q.x) in
+  let b = Field.mul (Field.add p.y p.x) (Field.add q.y q.x) in
+  let c = Field.mul (Field.mul p.t two_d) q.t in
+  let dd = Field.mul (Field.add p.z p.z) q.z in
+  let e = Field.sub b a in
+  let f = Field.sub dd c in
+  let g = Field.add dd c in
+  let h = Field.add b a in
+  { x = Field.mul e f; y = Field.mul g h; t = Field.mul e h; z = Field.mul f g }
+
+let double p =
+  let a = Field.square p.x in
+  let b = Field.square p.y in
+  let c = Field.add (Field.square p.z) (Field.square p.z) in
+  let h = Field.add a b in
+  let e = Field.sub h (Field.square (Field.add p.x p.y)) in
+  let g = Field.sub a b in
+  let f = Field.add c g in
+  { x = Field.mul e f; y = Field.mul g h; t = Field.mul e h; z = Field.mul f g }
+
+let negate p = { p with x = Field.neg p.x; t = Field.neg p.t }
+
+let scalar_mul k p =
+  let acc = ref identity in
+  for i = Bignum.bit_length k - 1 downto 0 do
+    acc := double !acc;
+    if Bignum.test_bit k i then acc := add !acc p
+  done;
+  !acc
+
+let equal p q =
+  (* x1/z1 = x2/z2 and y1/z1 = y2/z2, cross-multiplied. *)
+  Field.equal (Field.mul p.x q.z) (Field.mul q.x p.z)
+  && Field.equal (Field.mul p.y q.z) (Field.mul q.y p.z)
+
+let base =
+  let y = Field.mul (Field.of_int 4) (Field.inv (Field.of_int 5)) in
+  let y2 = Field.square y in
+  let x2 =
+    Field.mul
+      (Field.sub y2 Field.one)
+      (Field.inv (Field.add (Field.mul d y2) Field.one))
+  in
+  match Field.sqrt x2 with
+  | None -> assert false
+  | Some x ->
+      let x = if Field.is_odd x then Field.neg x else x in
+      of_affine (x, y)
+
+let encoded_size = 64
+
+let encode p =
+  let x, y = to_affine p in
+  Field.to_bytes_le x ^ Field.to_bytes_le y
+
+let decode s =
+  if String.length s <> encoded_size then Error "Curve.decode: bad length"
+  else begin
+    let x = Field.of_bytes_le (String.sub s 0 32) in
+    let y = Field.of_bytes_le (String.sub s 32 32) in
+    if is_on_curve_affine (x, y) then Ok (of_affine (x, y))
+    else Error "Curve.decode: point not on curve"
+  end
+
+let pp ppf p =
+  let x, y = to_affine p in
+  Format.fprintf ppf "(%a, %a)" Field.pp x Field.pp y

@@ -1,0 +1,41 @@
+(** The twisted Edwards curve -x^2 + y^2 = 1 + d x^2 y^2 over
+    GF(2^255 - 19) with the Ed25519 parameters. This is the group used
+    by the monitor's attestation signatures ({!Schnorr}) and key
+    agreement ({!Dh}).
+
+    The base point is recovered from y = 4/5 at module initialization
+    (choosing the even-x root), so no large coordinate constant needs to
+    be trusted. *)
+
+type point
+(** A point of the curve in extended homogeneous coordinates. *)
+
+val order : Bignum.t
+(** The prime order L = 2^252 + 27742317777372353535851937790883648493
+    of the base-point subgroup. *)
+
+val cofactor : int
+
+val identity : point
+val base : point
+
+val add : point -> point -> point
+val double : point -> point
+val negate : point -> point
+val scalar_mul : Bignum.t -> point -> point
+val equal : point -> point -> bool
+val is_on_curve : point -> bool
+
+val to_affine : point -> Field.t * Field.t
+val of_affine : Field.t * Field.t -> point
+(** Raises [Invalid_argument] if the coordinates are not on the curve. *)
+
+val encode : point -> string
+(** 64-byte uncompressed encoding: x (32 LE) followed by y (32 LE). *)
+
+val decode : string -> (point, string) result
+(** Inverse of {!encode}, including an on-curve check. *)
+
+val encoded_size : int
+
+val pp : Format.formatter -> point -> unit

@@ -1,0 +1,13 @@
+type secret = Bignum.t
+type public = Curve.point
+
+let generate rng =
+  let s = Drbg.random_scalar rng ~m:Curve.order in
+  (s, Curve.scalar_mul s Curve.base)
+
+let public_to_bytes = Curve.encode
+let public_of_bytes = Curve.decode
+
+let shared_key secret public =
+  let shared = Curve.scalar_mul secret public in
+  Sha3.sha3_256 ("sanctorum-dh-shared" ^ Curve.encode shared)

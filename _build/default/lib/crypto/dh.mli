@@ -1,0 +1,17 @@
+(** Diffie–Hellman key agreement over the attestation curve, used by
+    remote attestation (§VI-C, step 1) to establish the private channel
+    whose key the attestation later authenticates. *)
+
+type secret
+type public
+
+val generate : Drbg.t -> secret * public
+(** Fresh ephemeral key pair. *)
+
+val public_to_bytes : public -> string
+val public_of_bytes : string -> (public, string) result
+
+val shared_key : secret -> public -> string
+(** [shared_key mine theirs] is a 32-byte symmetric key; both sides
+    compute the same value. The raw curve point is hashed so the key is
+    uniform. *)

@@ -1,0 +1,68 @@
+type t = Bignum.t
+
+let p =
+  (* 2^255 - 19 *)
+  Bignum.sub (Bignum.shift_left Bignum.one 255) (Bignum.of_int 19)
+
+let nineteen = Bignum.of_int 19
+
+(* Fold 2^255 ≡ 19 until the value fits in 255 bits, then a final
+   conditional subtract. Inputs are at most p^2 so two folds suffice. *)
+let reduce x =
+  let rec fold x =
+    if Bignum.bit_length x <= 255 then x
+    else begin
+      let hi = Bignum.shift_right x 255 in
+      let lo = Bignum.sub x (Bignum.shift_left hi 255) in
+      fold (Bignum.add lo (Bignum.mul nineteen hi))
+    end
+  in
+  let x = fold x in
+  if Bignum.compare x p >= 0 then Bignum.sub x p else x
+
+let zero = Bignum.zero
+let one = Bignum.one
+let of_bignum x = reduce x
+let to_bignum x = x
+let of_int n = reduce (Bignum.of_int n)
+let of_bytes_le s = reduce (Bignum.of_bytes_le s)
+let to_bytes_le x = Bignum.to_bytes_le ~len:32 x
+let equal = Bignum.equal
+let is_zero = Bignum.is_zero
+let is_odd x = not (Bignum.is_even x)
+let add a b = reduce (Bignum.add a b)
+let sub a b = if Bignum.compare a b >= 0 then Bignum.sub a b else Bignum.sub (Bignum.add a p) b
+let neg a = if Bignum.is_zero a then a else Bignum.sub p a
+let mul a b = reduce (Bignum.mul a b)
+let square a = mul a a
+
+let pow b e =
+  let acc = ref one in
+  for i = Bignum.bit_length e - 1 downto 0 do
+    acc := square !acc;
+    if Bignum.test_bit e i then acc := mul !acc b
+  done;
+  !acc
+
+let inv a =
+  if is_zero a then invalid_arg "Field.inv: zero";
+  pow a (Bignum.sub p Bignum.two)
+
+(* p ≡ 5 (mod 8): candidate r = a^((p+3)/8). If r^2 = -a, multiply by
+   sqrt(-1) = 2^((p-1)/4). *)
+let sqrt_minus_one =
+  lazy (pow Bignum.two (Bignum.shift_right (Bignum.sub p Bignum.one) 2))
+
+let sqrt a =
+  if is_zero a then Some zero
+  else begin
+    let e = Bignum.shift_right (Bignum.add p (Bignum.of_int 3)) 3 in
+    let r = pow a e in
+    if equal (square r) a then Some r
+    else begin
+      let r' = mul r (Lazy.force sqrt_minus_one) in
+      if equal (square r') a then Some r' else None
+    end
+  end
+
+let pp ppf x = Bignum.pp ppf x

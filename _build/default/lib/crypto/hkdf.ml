@@ -1,0 +1,17 @@
+let hash_len = 32
+
+let extract ~salt ~ikm = Hmac.mac ~key:salt ikm
+
+let expand ~prk ~info ~len =
+  if len > 255 * hash_len then invalid_arg "Hkdf.expand: output too long";
+  let blocks = (len + hash_len - 1) / hash_len in
+  let rec go i prev acc =
+    if i > blocks then acc
+    else begin
+      let t = Hmac.mac ~key:prk (prev ^ info ^ String.make 1 (Char.chr i)) in
+      go (i + 1) t (acc ^ t)
+    end
+  in
+  String.sub (go 1 "" "") 0 len
+
+let derive ~salt ~ikm ~info ~len = expand ~prk:(extract ~salt ~ikm) ~info ~len

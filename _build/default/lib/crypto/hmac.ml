@@ -1,0 +1,11 @@
+let block_size = 136
+
+let mac ~key msg =
+  let key = if String.length key > block_size then Sha3.sha3_256 key else key in
+  let key = key ^ String.make (block_size - String.length key) '\000' in
+  let ipad = Sanctorum_util.Bytesx.xor key (String.make block_size '\x36') in
+  let opad = Sanctorum_util.Bytesx.xor key (String.make block_size '\x5c') in
+  Sha3.sha3_256 (opad ^ Sha3.sha3_256 (ipad ^ msg))
+
+let verify ~key ~msg ~tag =
+  Sanctorum_util.Bytesx.constant_time_equal (mac ~key msg) tag

@@ -1,0 +1,8 @@
+(** HMAC over SHA3-256 (RFC 2104 construction with the SHA3-256 rate,
+    136 bytes, as block size). *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 32-byte authentication tag. *)
+
+val verify : key:string -> msg:string -> tag:string -> bool
+(** Constant-time tag comparison. *)

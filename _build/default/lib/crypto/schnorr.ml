@@ -1,0 +1,61 @@
+type secret_key = { scalar : Bignum.t; seed : string }
+type public_key = Curve.point
+
+let scalar_of_hash data = Bignum.rem (Bignum.of_bytes_be data) Curve.order
+
+let nonzero_scalar_of_hash data =
+  let s = scalar_of_hash data in
+  if Bignum.is_zero s then Bignum.one else s
+
+let secret_key_of_seed seed =
+  let scalar =
+    nonzero_scalar_of_hash (Sha3.sha3_512 ("sanctorum-schnorr-key" ^ seed))
+  in
+  { scalar; seed }
+
+let public_key sk = Curve.scalar_mul sk.scalar Curve.base
+let public_key_to_bytes = Curve.encode
+let public_key_of_bytes = Curve.decode
+let signature_size = Curve.encoded_size + 32
+
+let challenge ~commitment ~pk ~msg =
+  scalar_of_hash
+    (Sha3.sha3_512
+       ("sanctorum-schnorr-chal" ^ Curve.encode commitment ^ Curve.encode pk
+      ^ msg))
+
+let sign sk msg =
+  let pk = public_key sk in
+  let r =
+    nonzero_scalar_of_hash
+      (Sha3.sha3_512 ("sanctorum-schnorr-nonce" ^ sk.seed ^ msg))
+  in
+  let commitment = Curve.scalar_mul r Curve.base in
+  let c = challenge ~commitment ~pk ~msg in
+  let s =
+    Bignum.mod_add r (Bignum.mod_mul c sk.scalar ~m:Curve.order) ~m:Curve.order
+  in
+  Curve.encode commitment ^ Bignum.to_bytes_be ~len:32 s
+
+let verify pk ~msg ~signature =
+  if String.length signature <> signature_size then false
+  else begin
+    match Curve.decode (String.sub signature 0 Curve.encoded_size) with
+    | Error _ -> false
+    | Ok commitment ->
+        let s =
+          Bignum.of_bytes_be (String.sub signature Curve.encoded_size 32)
+        in
+        if Bignum.compare s Curve.order >= 0 then false
+        else begin
+          let c = challenge ~commitment ~pk ~msg in
+          (* s·B = R + c·A *)
+          Curve.equal
+            (Curve.scalar_mul s Curve.base)
+            (Curve.add commitment (Curve.scalar_mul c pk))
+        end
+  end
+
+let pp_public_key ppf pk =
+  Format.fprintf ppf "%s"
+    (Sanctorum_util.Hex.encode (String.sub (Curve.encode pk) 0 8))

@@ -1,0 +1,32 @@
+(** Schnorr signatures over the attestation curve ({!Curve}).
+
+    This is the signature scheme behind the monitor's remote attestation
+    (§VI-C): the signing enclave signs (nonce, enclave measurement) with
+    the monitor's attestation key, and the manufacturer PKI signs the
+    monitor's public key. Deterministic nonces (hash of secret and
+    message) remove the catastrophic nonce-reuse failure mode. *)
+
+type secret_key
+type public_key
+
+val secret_key_of_seed : string -> secret_key
+(** Derive a key pair deterministically from seed bytes (the secure boot
+    protocol derives the monitor's key this way). *)
+
+val public_key : secret_key -> public_key
+
+val public_key_to_bytes : public_key -> string
+(** 64-byte curve-point encoding. *)
+
+val public_key_of_bytes : string -> (public_key, string) result
+
+val signature_size : int
+(** 96 bytes: the commitment point R (64) and the response scalar s
+    (32, big-endian). *)
+
+val sign : secret_key -> string -> string
+(** [sign sk msg] is a [signature_size]-byte signature. *)
+
+val verify : public_key -> msg:string -> signature:string -> bool
+
+val pp_public_key : Format.formatter -> public_key -> unit

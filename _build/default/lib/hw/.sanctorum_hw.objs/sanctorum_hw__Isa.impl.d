@@ -1,0 +1,1 @@
+lib/hw/isa.ml: Array Buffer Char Format Int32 List Option Printf Sanctorum_util

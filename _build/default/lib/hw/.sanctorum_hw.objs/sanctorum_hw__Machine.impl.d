@@ -1,0 +1,1 @@
+lib/hw/machine.ml: Array Cache Format Int64 Isa Page_table Phys_mem Pmp Sanctorum_util String Tlb Trap

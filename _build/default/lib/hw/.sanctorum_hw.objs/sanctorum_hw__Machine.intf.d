@@ -1,0 +1,1 @@
+lib/hw/machine.mli: Cache Phys_mem Pmp Tlb Trap

@@ -1,0 +1,1 @@
+lib/hw/page_table.ml: Int64 Phys_mem

@@ -1,0 +1,1 @@
+lib/hw/pmp.ml: Array Format List Stdlib Trap

@@ -1,0 +1,1 @@
+lib/hw/pmp.mli: Format Trap

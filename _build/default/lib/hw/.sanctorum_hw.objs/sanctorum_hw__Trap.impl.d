@@ -1,0 +1,1 @@
+lib/hw/trap.ml: Format

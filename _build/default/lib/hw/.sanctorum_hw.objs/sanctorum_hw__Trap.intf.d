@@ -1,0 +1,1 @@
+lib/hw/trap.mli: Format

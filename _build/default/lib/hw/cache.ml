@@ -1,0 +1,92 @@
+type line = { mutable valid : bool; mutable tag : int; mutable lru : int }
+
+type config = {
+  sets : int;
+  ways : int;
+  line_bytes : int;
+  hit_cycles : int;
+  miss_cycles : int;
+}
+
+type t = {
+  cfg : config;
+  lines : line array array; (* [set].[way] *)
+  mutable index_fn : int -> int;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let default_l1 =
+  { sets = 64; ways = 4; line_bytes = 64; hit_cycles = 1; miss_cycles = 10 }
+
+let default_l2 =
+  { sets = 1024; ways = 8; line_bytes = 64; hit_cycles = 10; miss_cycles = 60 }
+
+let create cfg =
+  if not (Sanctorum_util.Bits.is_power_of_two cfg.sets) then
+    invalid_arg "Cache.create: sets must be a power of two";
+  if not (Sanctorum_util.Bits.is_power_of_two cfg.line_bytes) then
+    invalid_arg "Cache.create: line_bytes must be a power of two";
+  let mk_line () = { valid = false; tag = 0; lru = 0 } in
+  let lines =
+    Array.init cfg.sets (fun _ -> Array.init cfg.ways (fun _ -> mk_line ()))
+  in
+  let default_index paddr = paddr / cfg.line_bytes mod cfg.sets in
+  {
+    cfg;
+    lines;
+    index_fn = default_index;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let config t = t.cfg
+let set_index_fn t f = t.index_fn <- f
+let set_of_paddr t paddr = t.index_fn paddr
+let tag_of t paddr = paddr / t.cfg.line_bytes
+
+let access t ~paddr =
+  t.tick <- t.tick + 1;
+  let set = t.lines.(t.index_fn paddr land (t.cfg.sets - 1)) in
+  let tag = tag_of t paddr in
+  let hit = ref None in
+  Array.iter (fun l -> if l.valid && l.tag = tag then hit := Some l) set;
+  match !hit with
+  | Some l ->
+      l.lru <- t.tick;
+      t.hits <- t.hits + 1;
+      (true, t.cfg.hit_cycles)
+  | None ->
+      t.misses <- t.misses + 1;
+      (* Fill: prefer an invalid way, else evict the LRU way. *)
+      let victim = ref set.(0) in
+      Array.iter
+        (fun l ->
+          if not l.valid then begin
+            if !victim.valid then victim := l
+          end
+          else if !victim.valid && l.lru < !victim.lru then victim := l)
+        set;
+      !victim.valid <- true;
+      !victim.tag <- tag;
+      !victim.lru <- t.tick;
+      (false, t.cfg.miss_cycles)
+
+let probe t ~paddr =
+  let set = t.lines.(t.index_fn paddr land (t.cfg.sets - 1)) in
+  let tag = tag_of t paddr in
+  Array.exists (fun l -> l.valid && l.tag = tag) set
+
+let flush_all t =
+  Array.iter (fun set -> Array.iter (fun l -> l.valid <- false) set) t.lines
+
+let flush_set t i =
+  Array.iter (fun l -> l.valid <- false) t.lines.(i land (t.cfg.sets - 1))
+
+let stats t = (t.hits, t.misses)
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0

@@ -1,0 +1,48 @@
+(** A set-associative cache timing model with LRU replacement.
+
+    Used twice: per-core private L1s (flushed by the monitor on every
+    protection-domain switch) and a shared L2/LLC (partitioned by page
+    coloring on the Sanctum platform, shared on Keystone). The cache
+    carries no data — only tags — because its purpose is timing: it is
+    the surface the paper's cache side-channel adversary probes. *)
+
+type t
+
+type config = {
+  sets : int;  (** power of two *)
+  ways : int;
+  line_bytes : int;  (** power of two *)
+  hit_cycles : int;
+  miss_cycles : int;
+}
+
+val default_l1 : config
+val default_l2 : config
+
+val create : config -> t
+
+val config : t -> config
+
+val set_index_fn : t -> (int -> int) -> unit
+(** Override the paddr→set mapping. The Sanctum platform installs a
+    page-coloring function here so that distinct DRAM regions map to
+    disjoint sets. *)
+
+val access : t -> paddr:int -> bool * int
+(** [access t ~paddr] touches the line holding [paddr]; returns
+    [(hit, cycles)] and updates LRU/fill state. *)
+
+val probe : t -> paddr:int -> bool
+(** Non-destructive lookup: would this access hit? (Used by attack
+    oracles in tests; real attackers must use {!access} timing.) *)
+
+val flush_all : t -> unit
+
+val flush_set : t -> int -> unit
+
+val set_of_paddr : t -> int -> int
+
+val stats : t -> int * int
+(** (hits, misses) since creation or [reset_stats]. *)
+
+val reset_stats : t -> unit

@@ -1,0 +1,351 @@
+type core = {
+  id : int;
+  regs : int64 array;
+  mutable pc : int64;
+  mutable domain : Trap.domain;
+  mutable satp_root : int option;
+  mutable cycles : int;
+  mutable instret : int;
+  mutable halted : bool;
+  tlb : Tlb.t;
+  l1 : Cache.t;
+  pmp : Pmp.t;
+  mutable timer_cmp : int option;
+  mutable pending_interrupts : Trap.interrupt list;
+}
+
+type config = {
+  mem_bytes : int;
+  cores : int;
+  l1 : Cache.config;
+  l2 : Cache.config;
+  tlb_entries : int;
+  pte_fetch_cycles : int;
+}
+
+type t = {
+  mem : Phys_mem.t;
+  cores : core array;
+  l2 : Cache.t;
+  cfg : config;
+  mutable phys_check : core:core -> access:Trap.access -> paddr:int -> bool;
+  mutable pte_fetch_check : core:core -> paddr:int -> bool;
+  mutable dma_check : paddr:int -> len:int -> bool;
+  mutable trap_handler : t -> core -> Trap.cause -> unit;
+}
+
+exception Fault of Trap.exception_cause
+
+let default_config =
+  {
+    mem_bytes = 16 * 1024 * 1024;
+    cores = 4;
+    l1 = Cache.default_l1;
+    l2 = Cache.default_l2;
+    tlb_entries = 32;
+    pte_fetch_cycles = 12;
+  }
+
+let create cfg =
+  let mk_core id =
+    {
+      id;
+      regs = Array.make 32 0L;
+      pc = 0L;
+      domain = Trap.domain_untrusted;
+      satp_root = None;
+      cycles = 0;
+      instret = 0;
+      halted = false;
+      tlb = Tlb.create ~entries:cfg.tlb_entries;
+      l1 = Cache.create cfg.l1;
+      pmp = Pmp.create ();
+      timer_cmp = None;
+      pending_interrupts = [];
+    }
+  in
+  {
+    mem = Phys_mem.create ~size:cfg.mem_bytes;
+    cores = Array.init cfg.cores mk_core;
+    l2 = Cache.create cfg.l2;
+    cfg;
+    phys_check = (fun ~core:_ ~access:_ ~paddr:_ -> true);
+    pte_fetch_check = (fun ~core:_ ~paddr:_ -> true);
+    dma_check = (fun ~paddr:_ ~len:_ -> true);
+    trap_handler =
+      (fun _ core cause ->
+        Format.eprintf "machine: unhandled trap on core %d: %a@." core.id
+          Trap.pp_cause cause;
+        core.halted <- true);
+  }
+
+let mem t = t.mem
+let l2 t = t.l2
+let cores t = t.cores
+let core t i = t.cores.(i)
+let core_count t = Array.length t.cores
+let set_phys_check t f = t.phys_check <- f
+let set_pte_fetch_check t f = t.pte_fetch_check <- f
+let set_dma_check t f = t.dma_check <- f
+let set_trap_handler t f = t.trap_handler <- f
+let read_reg core r = if r = 0 then 0L else core.regs.(r)
+let write_reg core r v = if r <> 0 then core.regs.(r) <- v
+
+let reset_core_state core =
+  Array.fill core.regs 0 32 0L;
+  core.pc <- 0L
+
+let post_interrupt t ~core irq =
+  let c = t.cores.(core) in
+  c.pending_interrupts <- c.pending_interrupts @ [ irq ]
+
+let tlb_perms_allow (perms : Tlb.perms) (access : Trap.access) =
+  perms.u
+  &&
+  match access with
+  | Trap.Read -> perms.r
+  | Trap.Write -> perms.w
+  | Trap.Execute -> perms.x
+
+(* Translation without the final cache access. Raises [Fault]. *)
+let translate_exn t core ~access ~vaddr =
+  let va = Int64.to_int vaddr in
+  if va < 0 || Int64.compare vaddr (Int64.shift_left 1L Page_table.vpn_bits) >= 0
+  then raise (Fault (Trap.Page_fault (access, vaddr)));
+  let paddr =
+    match core.satp_root with
+    | None -> va
+    | Some root ->
+        let vpn = va lsr 12 in
+        let ppn, perms =
+          match Tlb.lookup core.tlb ~vpn with
+          | Some hit -> hit
+          | None -> begin
+              let pte_fetch_ok paddr = t.pte_fetch_check ~core ~paddr in
+              let steps =
+                Page_table.walk_cost_levels t.mem ~root_ppn:root ~vaddr:va
+                  ~pte_fetch_ok
+              in
+              core.cycles <- core.cycles + (steps * t.cfg.pte_fetch_cycles);
+              match Page_table.walk t.mem ~root_ppn:root ~vaddr:va ~pte_fetch_ok with
+              | Error Page_table.Invalid_mapping ->
+                  raise (Fault (Trap.Page_fault (access, vaddr)))
+              | Error (Page_table.Walk_access_denied _) ->
+                  raise (Fault (Trap.Access_fault (access, vaddr)))
+              | Ok (ppn, p) ->
+                  let perms : Tlb.perms =
+                    { r = p.Page_table.r; w = p.w; x = p.x; u = p.u }
+                  in
+                  Tlb.insert core.tlb ~vpn ~ppn ~perms;
+                  (ppn, perms)
+            end
+        in
+        if not (tlb_perms_allow perms access) then
+          raise (Fault (Trap.Page_fault (access, vaddr)));
+        Phys_mem.page_base ppn lor (va land (Phys_mem.page_size - 1))
+  in
+  if paddr + 8 > Phys_mem.size t.mem then
+    raise (Fault (Trap.Access_fault (access, vaddr)));
+  if not (t.phys_check ~core ~access ~paddr) then
+    raise (Fault (Trap.Access_fault (access, vaddr)));
+  paddr
+
+let translate t core ~access ~vaddr =
+  match translate_exn t core ~access ~vaddr with
+  | paddr -> Ok paddr
+  | exception Fault f -> Error f
+
+(* Charge the cache hierarchy for an access and return the paddr. *)
+let cached_access t core ~access ~vaddr ~size =
+  if Int64.rem vaddr (Int64.of_int size) <> 0L then
+    raise (Fault (Trap.Misaligned (access, vaddr)));
+  let paddr = translate_exn t core ~access ~vaddr in
+  let l1_hit, l1_cycles = Cache.access core.l1 ~paddr in
+  let cost =
+    if l1_hit then l1_cycles
+    else begin
+      let _, l2_cycles = Cache.access t.l2 ~paddr in
+      l1_cycles + l2_cycles
+    end
+  in
+  core.cycles <- core.cycles + cost;
+  paddr
+
+let load t core ~op ~vaddr =
+  let open Isa in
+  let size = match op with
+    | Lb | Lbu -> 1 | Lh | Lhu -> 2 | Lw | Lwu -> 4 | Ld -> 8
+  in
+  let paddr = cached_access t core ~access:Trap.Read ~vaddr ~size in
+  match op with
+  | Lb ->
+      Int64.of_int
+        (Sanctorum_util.Bits.sign_extend (Phys_mem.read_u8 t.mem paddr) ~width:8)
+  | Lbu -> Int64.of_int (Phys_mem.read_u8 t.mem paddr)
+  | Lh ->
+      Int64.of_int
+        (Sanctorum_util.Bits.sign_extend (Phys_mem.read_u16 t.mem paddr) ~width:16)
+  | Lhu -> Int64.of_int (Phys_mem.read_u16 t.mem paddr)
+  | Lw -> Int64.of_int32 (Phys_mem.read_u32 t.mem paddr)
+  | Lwu ->
+      Int64.logand (Int64.of_int32 (Phys_mem.read_u32 t.mem paddr)) 0xffffffffL
+  | Ld -> Phys_mem.read_u64 t.mem paddr
+
+let store t core ~op ~vaddr ~value =
+  let open Isa in
+  let size = match op with Sb -> 1 | Sh -> 2 | Sw -> 4 | Sd -> 8 in
+  let paddr = cached_access t core ~access:Trap.Write ~vaddr ~size in
+  match op with
+  | Sb -> Phys_mem.write_u8 t.mem paddr (Int64.to_int value land 0xff)
+  | Sh -> Phys_mem.write_u16 t.mem paddr (Int64.to_int value land 0xffff)
+  | Sw -> Phys_mem.write_u32 t.mem paddr (Int64.to_int32 value)
+  | Sd -> Phys_mem.write_u64 t.mem paddr value
+
+let alu op a b =
+  let open Isa in
+  match op with
+  | Add -> Int64.add a b
+  | Sub -> Int64.sub a b
+  | Sll -> Int64.shift_left a (Int64.to_int b land 63)
+  | Slt -> if Int64.compare a b < 0 then 1L else 0L
+  | Sltu ->
+      if Int64.unsigned_compare a b < 0 then 1L else 0L
+  | Xor -> Int64.logxor a b
+  | Srl -> Int64.shift_right_logical a (Int64.to_int b land 63)
+  | Sra -> Int64.shift_right a (Int64.to_int b land 63)
+  | Or -> Int64.logor a b
+  | And -> Int64.logand a b
+
+let branch_taken op a b =
+  let open Isa in
+  match op with
+  | Beq -> Int64.equal a b
+  | Bne -> not (Int64.equal a b)
+  | Blt -> Int64.compare a b < 0
+  | Bge -> Int64.compare a b >= 0
+  | Bltu -> Int64.unsigned_compare a b < 0
+  | Bgeu -> Int64.unsigned_compare a b >= 0
+
+let deliver_trap t core cause = t.trap_handler t core cause
+
+(* Returns true if an interrupt was delivered instead of an instruction. *)
+let check_interrupts t core =
+  let timer_due =
+    match core.timer_cmp with Some c -> core.cycles >= c | None -> false
+  in
+  if timer_due then begin
+    core.timer_cmp <- None;
+    deliver_trap t core (Trap.Interrupt Trap.Timer);
+    true
+  end
+  else begin
+    match core.pending_interrupts with
+    | [] -> false
+    | irq :: rest ->
+        core.pending_interrupts <- rest;
+        deliver_trap t core (Trap.Interrupt irq);
+        true
+  end
+
+let execute t core instr =
+  let open Isa in
+  let next = Int64.add core.pc 4L in
+  match instr with
+  | Lui (rd, imm) ->
+      write_reg core rd (Int64.shift_left (Int64.of_int imm) 12);
+      core.pc <- next
+  | Auipc (rd, imm) ->
+      write_reg core rd (Int64.add core.pc (Int64.shift_left (Int64.of_int imm) 12));
+      core.pc <- next
+  | Jal (rd, off) ->
+      write_reg core rd next;
+      core.pc <- Int64.add core.pc (Int64.of_int off)
+  | Jalr (rd, rs1, imm) ->
+      let target =
+        Int64.logand
+          (Int64.add (read_reg core rs1) (Int64.of_int imm))
+          (Int64.lognot 1L)
+      in
+      write_reg core rd next;
+      core.pc <- target
+  | Branch (op, rs1, rs2, off) ->
+      if branch_taken op (read_reg core rs1) (read_reg core rs2) then
+        core.pc <- Int64.add core.pc (Int64.of_int off)
+      else core.pc <- next
+  | Load (op, rd, rs1, imm) ->
+      let vaddr = Int64.add (read_reg core rs1) (Int64.of_int imm) in
+      let v = load t core ~op ~vaddr in
+      write_reg core rd v;
+      core.pc <- next
+  | Store (op, rs2, rs1, imm) ->
+      let vaddr = Int64.add (read_reg core rs1) (Int64.of_int imm) in
+      store t core ~op ~vaddr ~value:(read_reg core rs2);
+      core.pc <- next
+  | Op_imm (op, rd, rs1, imm) ->
+      write_reg core rd (alu op (read_reg core rs1) (Int64.of_int imm));
+      core.pc <- next
+  | Op (op, rd, rs1, rs2) ->
+      write_reg core rd (alu op (read_reg core rs1) (read_reg core rs2));
+      core.pc <- next
+  | Mul (rd, rs1, rs2) ->
+      write_reg core rd (Int64.mul (read_reg core rs1) (read_reg core rs2));
+      core.pc <- next
+  | Csr_read_cycle rd ->
+      write_reg core rd (Int64.of_int core.cycles);
+      core.pc <- next
+  | Fence -> core.pc <- next
+  | Ecall -> deliver_trap t core (Trap.Exception Trap.Ecall_user)
+  | Ebreak -> deliver_trap t core (Trap.Exception Trap.Breakpoint)
+
+let step t core =
+  if core.halted then ()
+  else if check_interrupts t core then ()
+  else begin
+    match
+      let paddr =
+        cached_access t core ~access:Trap.Execute ~vaddr:core.pc ~size:4
+      in
+      Phys_mem.read_u32 t.mem paddr
+    with
+    | exception Fault f -> deliver_trap t core (Trap.Exception f)
+    | word -> begin
+        match Isa.decode word with
+        | None -> deliver_trap t core (Trap.Exception (Trap.Illegal_instruction word))
+        | Some instr -> begin
+            core.cycles <- core.cycles + 1;
+            match execute t core instr with
+            | () -> core.instret <- core.instret + 1
+            | exception Fault f -> deliver_trap t core (Trap.Exception f)
+          end
+      end
+  end
+
+let run t ~core ~fuel =
+  let c = t.cores.(core) in
+  let start = c.instret in
+  let budget = ref fuel in
+  while (not c.halted) && !budget > 0 do
+    let before = c.instret in
+    step t c;
+    (* Trap deliveries retire no instruction; still consume fuel so a
+       fault loop cannot hang the simulation. *)
+    budget := !budget - max 1 (c.instret - before)
+  done;
+  c.instret - start
+
+let dma_write t ~paddr data =
+  if not (t.dma_check ~paddr ~len:(String.length data)) then
+    Error (Trap.Access_fault (Trap.Write, Int64.of_int paddr))
+  else if paddr < 0 || paddr + String.length data > Phys_mem.size t.mem then
+    Error (Trap.Access_fault (Trap.Write, Int64.of_int paddr))
+  else begin
+    Phys_mem.write_string t.mem ~pos:paddr data;
+    Ok ()
+  end
+
+let dma_read t ~paddr ~len =
+  if not (t.dma_check ~paddr ~len) then
+    Error (Trap.Access_fault (Trap.Read, Int64.of_int paddr))
+  else if paddr < 0 || len < 0 || paddr + len > Phys_mem.size t.mem then
+    Error (Trap.Access_fault (Trap.Read, Int64.of_int paddr))
+  else Ok (Phys_mem.read_string t.mem ~pos:paddr ~len)

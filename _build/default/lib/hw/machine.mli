@@ -1,0 +1,100 @@
+(** The simulated multiprocessor: in-order cores, physical memory, a
+    per-core L1, a shared L2/LLC, per-core TLB and PMP, timers, and a
+    trap funnel.
+
+    Every trap — API ecall, page fault, isolation violation, interrupt —
+    lands in a single M-mode handler installed by the security monitor
+    (paper Fig. 1). Isolation checks are delegated to hooks installed by
+    the platform backend, mirroring how the monitor relies on the
+    hardware isolation primitive (§IV-B). *)
+
+type core = {
+  id : int;
+  regs : int64 array;  (** x0..x31; x0 reads as zero *)
+  mutable pc : int64;
+  mutable domain : Trap.domain;  (** protection domain now on this core *)
+  mutable satp_root : int option;
+      (** PPN of the active page-table root; [None] = bare (physical)
+          addressing *)
+  mutable cycles : int;
+  mutable instret : int;
+  mutable halted : bool;
+  tlb : Tlb.t;
+  l1 : Cache.t;
+  pmp : Pmp.t;
+  mutable timer_cmp : int option;
+      (** deliver a timer interrupt when [cycles >= cmp] *)
+  mutable pending_interrupts : Trap.interrupt list;
+}
+
+type t
+
+type config = {
+  mem_bytes : int;
+  cores : int;
+  l1 : Cache.config;
+  l2 : Cache.config;
+  tlb_entries : int;
+  pte_fetch_cycles : int;  (** added per page-walk step *)
+}
+
+val default_config : config
+
+val create : config -> t
+
+val mem : t -> Phys_mem.t
+val l2 : t -> Cache.t
+val cores : t -> core array
+val core : t -> int -> core
+val core_count : t -> int
+
+(** {2 Isolation hooks (installed by the platform backend)} *)
+
+val set_phys_check :
+  t -> (core:core -> access:Trap.access -> paddr:int -> bool) -> unit
+(** Decide whether the domain executing on [core] may touch [paddr].
+    Applied to every data/fetch access after translation. *)
+
+val set_pte_fetch_check : t -> (core:core -> paddr:int -> bool) -> unit
+(** The Sanctum page-walk invariant: approve each PTE fetch address. *)
+
+val set_dma_check : t -> (paddr:int -> len:int -> bool) -> unit
+
+val set_trap_handler : t -> (t -> core -> Trap.cause -> unit) -> unit
+(** The M-mode software: the security monitor. The handler mutates core
+    state (pc, registers, domain, satp) and returns; execution resumes
+    at [core.pc] unless the handler halted the core. *)
+
+(** {2 Execution} *)
+
+val step : t -> core -> unit
+(** Execute one instruction (or deliver one pending trap/interrupt). *)
+
+val run : t -> core:int -> fuel:int -> int
+(** [run t ~core ~fuel] steps until the core halts or [fuel]
+    instructions have retired; returns instructions retired. *)
+
+val post_interrupt : t -> core:int -> Trap.interrupt -> unit
+
+(** {2 Register and memory helpers} *)
+
+val read_reg : core -> int -> int64
+val write_reg : core -> int -> int64 -> unit
+val reset_core_state : core -> unit
+(** Zero the architected register file and PC — part of the monitor's
+    core cleaning on re-allocation. Does not touch caches or TLB. *)
+
+val translate :
+  t ->
+  core ->
+  access:Trap.access ->
+  vaddr:int64 ->
+  (int, Trap.exception_cause) result
+(** Translate without performing an access (no cache side effects;
+    page-walk cycle costs still accrue on the core). *)
+
+val dma_write : t -> paddr:int -> string -> (unit, Trap.exception_cause) result
+(** A device-initiated write, subject to the DMA check (§IV-B1). *)
+
+val dma_read :
+  t -> paddr:int -> len:int -> (string, Trap.exception_cause) result

@@ -1,0 +1,62 @@
+type t = Bytes.t
+
+let page_size = 4096
+
+let create ~size =
+  if size <= 0 || size mod page_size <> 0 then
+    invalid_arg "Phys_mem.create: size must be a positive multiple of 4096";
+  Bytes.make size '\000'
+
+let size = Bytes.length
+
+let check t pos len label =
+  if pos < 0 || pos + len > Bytes.length t then
+    invalid_arg
+      (Printf.sprintf "Phys_mem.%s: address 0x%x out of range" label pos)
+
+let read_u8 t pos =
+  check t pos 1 "read_u8";
+  Char.code (Bytes.get t pos)
+
+let write_u8 t pos v =
+  check t pos 1 "write_u8";
+  Bytes.set t pos (Char.chr (v land 0xff))
+
+let read_u16 t pos =
+  check t pos 2 "read_u16";
+  Bytes.get_uint16_le t pos
+
+let write_u16 t pos v =
+  check t pos 2 "write_u16";
+  Bytes.set_uint16_le t pos (v land 0xffff)
+
+let read_u32 t pos =
+  check t pos 4 "read_u32";
+  Bytes.get_int32_le t pos
+
+let write_u32 t pos v =
+  check t pos 4 "write_u32";
+  Bytes.set_int32_le t pos v
+
+let read_u64 t pos =
+  check t pos 8 "read_u64";
+  Bytes.get_int64_le t pos
+
+let write_u64 t pos v =
+  check t pos 8 "write_u64";
+  Bytes.set_int64_le t pos v
+
+let read_string t ~pos ~len =
+  check t pos len "read_string";
+  Bytes.sub_string t pos len
+
+let write_string t ~pos s =
+  check t pos (String.length s) "write_string";
+  Bytes.blit_string s 0 t pos (String.length s)
+
+let zero_range t ~pos ~len =
+  check t pos len "zero_range";
+  Bytes.fill t pos len '\000'
+
+let page_of paddr = paddr / page_size
+let page_base ppn = ppn * page_size

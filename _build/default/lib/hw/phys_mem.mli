@@ -1,0 +1,34 @@
+(** Byte-accurate physical memory. Isolation is {e not} enforced here —
+    the machine layer consults the platform's isolation primitive (PMP or
+    DRAM regions) before every access, exactly as hardware would. *)
+
+type t
+
+val page_size : int
+(** 4096 bytes. *)
+
+val create : size:int -> t
+(** [create ~size] is zero-filled memory; [size] must be page-aligned. *)
+
+val size : t -> int
+
+val read_u8 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+val read_u16 : t -> int -> int
+val write_u16 : t -> int -> int -> unit
+val read_u32 : t -> int -> int32
+val write_u32 : t -> int -> int32 -> unit
+val read_u64 : t -> int -> int64
+val write_u64 : t -> int -> int64 -> unit
+
+val read_string : t -> pos:int -> len:int -> string
+val write_string : t -> pos:int -> string -> unit
+
+val zero_range : t -> pos:int -> len:int -> unit
+(** Models the monitor's cleaning of a reclaimed memory resource. *)
+
+val page_of : int -> int
+(** [page_of paddr] is the physical page number. *)
+
+val page_base : int -> int
+(** [page_base ppn] is the first address of page [ppn]. *)

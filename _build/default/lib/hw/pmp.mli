@@ -1,0 +1,41 @@
+(** RISC-V physical memory protection (priv. spec [13]), the isolation
+    primitive of the Keystone platform (§VII-B): a per-core list of
+    prioritized address ranges white-listing accesses by privilege mode.
+
+    We model ranges directly (equivalent to TOR/NAPOT encodings) with
+    standard priority-match semantics: the lowest-numbered matching
+    entry decides; with no match, M-mode is allowed and S/U denied. *)
+
+type t
+
+type privilege = U | S | M
+
+val entry_count : int
+(** 16 entries, as in the ratified spec. *)
+
+val create : unit -> t
+
+val set_entry :
+  t ->
+  index:int ->
+  lo:int ->
+  hi:int ->
+  r:bool ->
+  w:bool ->
+  x:bool ->
+  locked:bool ->
+  unit
+(** Program entry [index] to cover physical addresses [lo, hi). A locked
+    entry applies to M-mode too and cannot be reprogrammed. Raises
+    [Invalid_argument] when reprogramming a locked entry. *)
+
+val clear_entry : t -> index:int -> unit
+
+val check : t -> privilege:privilege -> access:Trap.access -> paddr:int -> bool
+
+val check_range :
+  t -> privilege:privilege -> access:Trap.access -> lo:int -> hi:int -> bool
+(** Every byte of [lo, hi) passes {!check}. Conservative per-entry
+    implementation (no byte loop). *)
+
+val pp : Format.formatter -> t -> unit

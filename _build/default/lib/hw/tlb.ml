@@ -1,0 +1,53 @@
+type perms = { r : bool; w : bool; x : bool; u : bool }
+
+type entry = {
+  mutable valid : bool;
+  mutable vpn : int;
+  mutable ppn : int;
+  mutable perms : perms;
+}
+
+type t = { entries : entry array; mutable next : int }
+
+let no_perms = { r = false; w = false; x = false; u = false }
+
+let create ~entries =
+  if entries <= 0 then invalid_arg "Tlb.create: entries must be positive";
+  {
+    entries =
+      Array.init entries (fun _ ->
+          { valid = false; vpn = 0; ppn = 0; perms = no_perms });
+    next = 0;
+  }
+
+let lookup t ~vpn =
+  let found = ref None in
+  Array.iter
+    (fun e -> if e.valid && e.vpn = vpn then found := Some (e.ppn, e.perms))
+    t.entries;
+  !found
+
+let insert t ~vpn ~ppn ~perms =
+  (* Reuse an existing mapping slot when present, else round-robin. *)
+  let slot = ref None in
+  Array.iter (fun e -> if e.valid && e.vpn = vpn then slot := Some e) t.entries;
+  let e =
+    match !slot with
+    | Some e -> e
+    | None ->
+        let e = t.entries.(t.next) in
+        t.next <- (t.next + 1) mod Array.length t.entries;
+        e
+  in
+  e.valid <- true;
+  e.vpn <- vpn;
+  e.ppn <- ppn;
+  e.perms <- perms
+
+let flush t = Array.iter (fun e -> e.valid <- false) t.entries
+
+let flush_vpn t ~vpn =
+  Array.iter (fun e -> if e.vpn = vpn then e.valid <- false) t.entries
+
+let entry_count t =
+  Array.fold_left (fun n e -> if e.valid then n + 1 else n) 0 t.entries

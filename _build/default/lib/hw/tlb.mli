@@ -1,0 +1,23 @@
+(** A small fully-associative TLB.
+
+    The Sanctum page-walk invariant requires a TLB shootdown whenever a
+    DRAM region changes protection domain (§VII-A); the monitor performs
+    a full flush on every domain switch. *)
+
+type perms = { r : bool; w : bool; x : bool; u : bool }
+
+type t
+
+val create : entries:int -> t
+
+val lookup : t -> vpn:int -> (int * perms) option
+(** [lookup t ~vpn] is [Some (ppn, perms)] on a hit. *)
+
+val insert : t -> vpn:int -> ppn:int -> perms:perms -> unit
+
+val flush : t -> unit
+
+val flush_vpn : t -> vpn:int -> unit
+
+val entry_count : t -> int
+(** Number of currently valid entries. *)

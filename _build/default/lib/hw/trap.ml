@@ -1,0 +1,35 @@
+type access = Read | Write | Execute
+
+type exception_cause =
+  | Illegal_instruction of int32
+  | Misaligned of access * int64
+  | Access_fault of access * int64
+  | Page_fault of access * int64
+  | Ecall_user
+  | Breakpoint
+
+type interrupt = Timer | Software | External of int
+type cause = Exception of exception_cause | Interrupt of interrupt
+type domain = int
+
+let domain_sm = 0
+let domain_untrusted = 1
+
+let pp_access ppf a =
+  Format.pp_print_string ppf
+    (match a with Read -> "read" | Write -> "write" | Execute -> "execute")
+
+let pp_cause ppf = function
+  | Exception (Illegal_instruction w) ->
+      Format.fprintf ppf "illegal instruction %08lx" w
+  | Exception (Misaligned (a, addr)) ->
+      Format.fprintf ppf "misaligned %a at 0x%Lx" pp_access a addr
+  | Exception (Access_fault (a, addr)) ->
+      Format.fprintf ppf "access fault (%a) at 0x%Lx" pp_access a addr
+  | Exception (Page_fault (a, addr)) ->
+      Format.fprintf ppf "page fault (%a) at 0x%Lx" pp_access a addr
+  | Exception Ecall_user -> Format.pp_print_string ppf "ecall from U-mode"
+  | Exception Breakpoint -> Format.pp_print_string ppf "breakpoint"
+  | Interrupt Timer -> Format.pp_print_string ppf "timer interrupt"
+  | Interrupt Software -> Format.pp_print_string ppf "software interrupt"
+  | Interrupt (External n) -> Format.fprintf ppf "external interrupt %d" n

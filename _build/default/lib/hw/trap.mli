@@ -1,0 +1,33 @@
+(** Trap causes and protection-domain identifiers.
+
+    A trap is the only mechanism by which control reaches the security
+    monitor (paper Fig. 1: "SM API via system exceptions"). *)
+
+type access = Read | Write | Execute
+
+type exception_cause =
+  | Illegal_instruction of int32
+  | Misaligned of access * int64  (** access kind and faulting address *)
+  | Access_fault of access * int64
+      (** physical isolation violation (PMP / DRAM-region check) *)
+  | Page_fault of access * int64  (** translation failure *)
+  | Ecall_user  (** environment call from U-mode: an SM API call *)
+  | Breakpoint
+
+type interrupt =
+  | Timer  (** the OS's preemption tick *)
+  | Software
+  | External of int  (** device interrupts, identified by IRQ number *)
+
+type cause = Exception of exception_cause | Interrupt of interrupt
+
+type domain = int
+(** A protection domain identifier. By convention (mirrored by the
+    monitor layer): 0 is the SM itself, 1 is the untrusted OS and all
+    user applications, and values >= 2 are individual enclaves. *)
+
+val domain_sm : domain
+val domain_untrusted : domain
+
+val pp_access : Format.formatter -> access -> unit
+val pp_cause : Format.formatter -> cause -> unit

@@ -1,0 +1,1 @@
+lib/os/os.ml: Array Hashtbl Int64 List Option Result Sanctorum Sanctorum_hw Sanctorum_platform Sanctorum_util String

@@ -1,0 +1,1 @@
+lib/os/os.mli: Sanctorum Sanctorum_hw

@@ -1,0 +1,1 @@
+lib/os/testbed.ml: Option Os Sanctorum Sanctorum_crypto Sanctorum_hw Sanctorum_platform

@@ -1,0 +1,1 @@
+lib/os/testbed.mli: Os Sanctorum Sanctorum_crypto Sanctorum_hw Sanctorum_platform

@@ -1,0 +1,363 @@
+module Hw = Sanctorum_hw
+module Pf = Sanctorum_platform
+
+type run_outcome =
+  | Exited
+  | Preempted
+  | Faulted of Hw.Trap.cause
+  | Fuel_exhausted
+
+type installed = {
+  eid : int;
+  tids : int list;
+  shared_paddrs : (int * int * int) list;
+}
+
+type t = {
+  sm : Sanctorum.Sm.t;
+  machine : Hw.Machine.t;
+  mutable staging_next : int;
+  staging_limit : int;
+  pool_first_unit : int;
+  unit_free : bool array; (* indexed from pool_first_unit *)
+  mutable metadata_next : int;
+  mutable free_enclave_slots : int list;
+  mutable free_thread_slots : int list;
+  mutable scratch_page : int option; (* staging page reused for loads *)
+  mutable events : Hw.Trap.cause list; (* newest first *)
+  granted : (int, int list) Hashtbl.t; (* eid -> units *)
+  thread_table : (int, int list) Hashtbl.t; (* eid -> tids *)
+}
+
+let ( let* ) = Result.bind
+let page = Hw.Phys_mem.page_size
+
+(* The OS heap: memory above the monitor's reservation that the OS
+   keeps for itself (staging buffers, its own page tables, shared
+   windows). Never granted to enclaves. *)
+let os_heap_base = Pf.Platform.sm_memory_bytes
+let os_heap_bytes = 512 * 1024
+
+let create sm =
+  let machine = Sanctorum.Sm.machine sm in
+  let unit_bytes = Sanctorum.Sm.memory_unit_bytes sm in
+  let pool_base = os_heap_base + os_heap_bytes in
+  let pool_first_unit = (pool_base + unit_bytes - 1) / unit_bytes in
+  let total_units = Sanctorum.Sm.memory_units sm in
+  let t =
+    {
+      sm;
+      machine;
+      staging_next = os_heap_base;
+      staging_limit = pool_base;
+      pool_first_unit;
+      unit_free = Array.make (max 0 (total_units - pool_first_unit)) true;
+      metadata_next = Sanctorum.Sm.metadata_base sm;
+      free_enclave_slots = [];
+      free_thread_slots = [];
+      scratch_page = None;
+      events = [];
+      granted = Hashtbl.create 8;
+      thread_table = Hashtbl.create 8;
+    }
+  in
+  Sanctorum.Sm.set_os_trap_handler sm (fun core cause ->
+      t.events <- cause :: t.events;
+      (* The OS's handler runs natively: park the core so control
+         returns to the scheduler loop. *)
+      core.Hw.Machine.halted <- true);
+  t
+
+let sm t = t.sm
+let machine t = t.machine
+let unit_bytes t = Sanctorum.Sm.memory_unit_bytes t.sm
+
+let delegated_events t = List.rev t.events
+let clear_delegated_events t = t.events <- []
+
+(* --------------------------------------------------------------- *)
+(* Allocation *)
+
+let alloc_metadata t kind =
+  let pop_free () =
+    match kind with
+    | `Enclave -> begin
+        match t.free_enclave_slots with
+        | a :: rest ->
+            t.free_enclave_slots <- rest;
+            Some a
+        | [] -> None
+      end
+    | `Thread -> begin
+        match t.free_thread_slots with
+        | a :: rest ->
+            t.free_thread_slots <- rest;
+            Some a
+        | [] -> None
+      end
+  in
+  match pop_free () with
+  | Some addr -> addr
+  | None ->
+      let size =
+        match kind with
+        | `Enclave -> Sanctorum.Sm.enclave_slot_bytes
+        | `Thread -> Sanctorum.Sm.thread_slot_bytes
+      in
+      let addr = Sanctorum_util.Bits.align_up t.metadata_next 8 in
+      if addr + size > Sanctorum.Sm.metadata_limit t.sm then raise Out_of_memory
+      else begin
+        t.metadata_next <- addr + size;
+        addr
+      end
+
+let release_metadata t kind addr =
+  match kind with
+  | `Enclave -> t.free_enclave_slots <- addr :: t.free_enclave_slots
+  | `Thread -> t.free_thread_slots <- addr :: t.free_thread_slots
+
+let alloc_staging t ~bytes =
+  let addr = Sanctorum_util.Bits.align_up t.staging_next page in
+  let len = Sanctorum_util.Bits.align_up (max bytes 1) page in
+  if addr + len > t.staging_limit then raise Out_of_memory
+  else begin
+    t.staging_next <- addr + len;
+    addr
+  end
+
+let alloc_units t ~count =
+  if count <= 0 then invalid_arg "Os.alloc_units: count must be positive";
+  let n = Array.length t.unit_free in
+  let rec find start =
+    if start + count > n then raise Out_of_memory
+    else begin
+      let rec all_free i = i = count || (t.unit_free.(start + i) && all_free (i + 1)) in
+      if all_free 0 then start else find (start + 1)
+    end
+  in
+  let start = find 0 in
+  List.init count (fun i ->
+      t.unit_free.(start + i) <- false;
+      t.pool_first_unit + start + i)
+
+let free_units t units =
+  List.iter
+    (fun rid ->
+      let i = rid - t.pool_first_unit in
+      if i >= 0 && i < Array.length t.unit_free then t.unit_free.(i) <- true)
+    units
+
+(* Untrusted memory access helper: the native OS only ever touches
+   memory it owns (the machine would fault anything else anyway). *)
+let os_owned t ~paddr =
+  (Sanctorum.Sm.platform t.sm).Pf.Platform.owner_at ~paddr = Hw.Trap.domain_untrusted
+
+let os_write t ~paddr data =
+  assert (os_owned t ~paddr);
+  Hw.Phys_mem.write_string (Hw.Machine.mem t.machine) ~pos:paddr data
+
+let os_read t ~paddr ~len =
+  assert (os_owned t ~paddr);
+  Hw.Phys_mem.read_string (Hw.Machine.mem t.machine) ~pos:paddr ~len
+
+(* --------------------------------------------------------------- *)
+(* Enclave installation: the OS decides placement; the monitor checks. *)
+
+let pad_page contents = contents ^ String.make (page - String.length contents) '\000'
+
+let install_enclave t (image : Sanctorum.Image.t) =
+  let eid = alloc_metadata t `Enclave in
+  let* () =
+    Sanctorum.Sm.create_enclave t.sm ~caller:Sanctorum.Sm.Os ~eid ~evbase:image.Sanctorum.Image.evbase
+      ~evsize:image.Sanctorum.Image.evsize ~mailbox_slots:image.Sanctorum.Image.mailbox_slots ()
+  in
+  (* Fig. 2 round trip for each unit: block (we own it), clean, grant. *)
+  let ub = unit_bytes t in
+  let units_needed = ((Sanctorum.Image.page_count image * page) + ub - 1) / ub in
+  let units = alloc_units t ~count:units_needed in
+  Hashtbl.replace t.granted eid units;
+  let rec grant_all = function
+    | [] -> Ok ()
+    | rid :: rest ->
+        let* () = Sanctorum.Sm.block_resource t.sm ~caller:Sanctorum.Sm.Os Sanctorum.Resource.Memory_resource ~rid in
+        let* () = Sanctorum.Sm.clean_resource t.sm ~caller:Sanctorum.Sm.Os Sanctorum.Resource.Memory_resource ~rid in
+        let* () =
+          Sanctorum.Sm.grant_resource t.sm ~caller:Sanctorum.Sm.Os Sanctorum.Resource.Memory_resource ~rid
+            ~to_:(Sanctorum.Sm.To_enclave eid)
+        in
+        grant_all rest
+  in
+  let* () = grant_all units in
+  let rec tables = function
+    | [] -> Ok ()
+    | (vaddr, level) :: rest ->
+        let* () = Sanctorum.Sm.allocate_page_table t.sm ~caller:Sanctorum.Sm.Os ~eid ~vaddr ~level in
+        tables rest
+  in
+  let* () = tables (Sanctorum.Image.required_page_tables image) in
+  let staging =
+    match t.scratch_page with
+    | Some p -> p
+    | None ->
+        let p = alloc_staging t ~bytes:page in
+        t.scratch_page <- Some p;
+        p
+  in
+  let rec pages = function
+    | [] -> Ok ()
+    | (p : Sanctorum.Image.page) :: rest ->
+        os_write t ~paddr:staging (pad_page p.Sanctorum.Image.contents);
+        let* () =
+          Sanctorum.Sm.load_page t.sm ~caller:Sanctorum.Sm.Os ~eid ~vaddr:p.Sanctorum.Image.vaddr
+            ~src_paddr:staging ~r:p.Sanctorum.Image.r ~w:p.Sanctorum.Image.w ~x:p.Sanctorum.Image.x
+        in
+        pages rest
+  in
+  let* () = pages image.Sanctorum.Image.pages in
+  let rec shared acc = function
+    | [] -> Ok (List.rev acc)
+    | (vaddr, len) :: rest ->
+        let src = alloc_staging t ~bytes:len in
+        let* () =
+          Sanctorum.Sm.map_shared t.sm ~caller:Sanctorum.Sm.Os ~eid ~vaddr ~src_paddr:src ~len
+        in
+        shared ((vaddr, src, len) :: acc) rest
+  in
+  let* shared_paddrs = shared [] image.Sanctorum.Image.shared in
+  let rec threads acc = function
+    | [] -> Ok (List.rev acc)
+    | (entry_pc, entry_sp) :: rest ->
+        let tid = alloc_metadata t `Thread in
+        let* () =
+          Sanctorum.Sm.load_thread t.sm ~caller:Sanctorum.Sm.Os ~eid ~tid ~entry_pc ~entry_sp
+        in
+        threads (tid :: acc) rest
+  in
+  let* tids = threads [] image.Sanctorum.Image.threads in
+  let* () = Sanctorum.Sm.init_enclave t.sm ~caller:Sanctorum.Sm.Os ~eid in
+  Hashtbl.replace t.thread_table eid tids;
+  Ok { eid; tids; shared_paddrs }
+
+let reclaim_enclave t ~eid =
+  let* () = Sanctorum.Sm.delete_enclave t.sm ~caller:Sanctorum.Sm.Os ~eid in
+  let units = Option.value ~default:[] (Hashtbl.find_opt t.granted eid) in
+  let rec reclaim = function
+    | [] -> Ok ()
+    | rid :: rest ->
+        let* () = Sanctorum.Sm.clean_resource t.sm ~caller:Sanctorum.Sm.Os Sanctorum.Resource.Memory_resource ~rid in
+        let* () =
+          Sanctorum.Sm.grant_resource t.sm ~caller:Sanctorum.Sm.Os Sanctorum.Resource.Memory_resource ~rid
+            ~to_:Sanctorum.Sm.To_os
+        in
+        reclaim rest
+  in
+  let* () = reclaim units in
+  Hashtbl.remove t.granted eid;
+  free_units t units;
+  (* Recycle metadata: the dead enclave's threads became available. *)
+  List.iter
+    (fun tid ->
+      match Sanctorum.Sm.delete_thread t.sm ~caller:Sanctorum.Sm.Os ~tid with
+      | Ok () -> release_metadata t `Thread tid
+      | Error _ -> ())
+    (Option.value ~default:[] (Hashtbl.find_opt t.thread_table eid));
+  Hashtbl.remove t.thread_table eid;
+  release_metadata t `Enclave eid;
+  Ok ()
+
+(* --------------------------------------------------------------- *)
+(* Scheduling *)
+
+let classify_outcome t ~events_before ~tid =
+  let new_events =
+    let rec take n l = if n <= 0 then [] else match l with [] -> [] | x :: r -> x :: take (n - 1) r in
+    take (List.length t.events - events_before) t.events
+  in
+  match Sanctorum.Sm.thread_state t.sm ~tid with
+  | Ok (`Running _) -> Fuel_exhausted
+  | Ok (`Assigned _) | Ok `Available | Error _ -> begin
+      match Sanctorum.Sm.thread_has_aex_state t.sm ~tid with
+      | Ok true -> begin
+          (* An AEX happened: the delegated event says why. *)
+          match new_events with
+          | Hw.Trap.Interrupt _ :: _ -> Preempted
+          | (Hw.Trap.Exception _ as e) :: _ -> Faulted e
+          | [] -> Preempted
+        end
+      | Ok false | Error _ -> Exited
+    end
+
+let enter_and_run t ~eid ~tid ~core ~fuel ~quantum =
+  let c = Hw.Machine.core t.machine core in
+  let events_before = List.length t.events in
+  let* () = Sanctorum.Sm.enter_enclave t.sm ~caller:Sanctorum.Sm.Os ~eid ~tid ~core in
+  (match quantum with
+  | Some q -> c.Hw.Machine.timer_cmp <- Some (c.Hw.Machine.cycles + q)
+  | None -> ());
+  let _retired = Hw.Machine.run t.machine ~core ~fuel in
+  c.Hw.Machine.timer_cmp <- None;
+  Ok (classify_outcome t ~events_before ~tid)
+
+let run_enclave t ~eid ~tid ~core ~fuel ?quantum () =
+  enter_and_run t ~eid ~tid ~core ~fuel ~quantum
+
+let resume_enclave t ~eid ~tid ~core ~fuel ?quantum () =
+  enter_and_run t ~eid ~tid ~core ~fuel ~quantum
+
+(* --------------------------------------------------------------- *)
+(* Untrusted user programs (the baseline protection domain) *)
+
+let untrusted_code_vaddr = 0x400000
+
+let run_untrusted_program t ~code ~core ~fuel ?(data_pages = 1) () =
+  let c = Hw.Machine.core t.machine core in
+  let mem = Hw.Machine.mem t.machine in
+  let encoded = Hw.Isa.encode_program code in
+  if String.length encoded > page then
+    invalid_arg "Os.run_untrusted_program: program exceeds one page";
+  let root = alloc_staging t ~bytes:page / page in
+  Hw.Phys_mem.zero_range mem ~pos:(Hw.Phys_mem.page_base root) ~len:page;
+  let alloc_table () =
+    let ppn = alloc_staging t ~bytes:page / page in
+    Hw.Phys_mem.zero_range mem ~pos:(Hw.Phys_mem.page_base ppn) ~len:page;
+    ppn
+  in
+  let map_one ~vaddr ~paddr ~x ~w =
+    Hw.Page_table.map mem ~root_ppn:root ~vaddr ~ppn:(paddr / page)
+      ~perms:Hw.Page_table.{ r = true; w; x; u = true }
+      ~alloc_table
+  in
+  let code_paddr = alloc_staging t ~bytes:page in
+  os_write t ~paddr:code_paddr (pad_page encoded);
+  map_one ~vaddr:untrusted_code_vaddr ~paddr:code_paddr ~x:true ~w:false;
+  for i = 0 to data_pages - 1 do
+    let p = alloc_staging t ~bytes:page in
+    map_one
+      ~vaddr:(untrusted_code_vaddr + ((i + 1) * page))
+      ~paddr:p ~x:false ~w:true
+  done;
+  let events_before = List.length t.events in
+  Hw.Machine.reset_core_state c;
+  (* Installing a new address space invalidates prior translations. *)
+  Hw.Tlb.flush c.Hw.Machine.tlb;
+  c.Hw.Machine.satp_root <- Some root;
+  c.Hw.Machine.pc <- Int64.of_int untrusted_code_vaddr;
+  Hw.Machine.write_reg c Hw.Isa.sp
+    (Int64.of_int (untrusted_code_vaddr + ((data_pages + 1) * page) - 16));
+  c.Hw.Machine.halted <- false;
+  let _ = Hw.Machine.run t.machine ~core ~fuel in
+  let a0 = Hw.Machine.read_reg c Hw.Isa.a0 in
+  let outcome =
+    if not c.Hw.Machine.halted then Fuel_exhausted
+    else begin
+      let new_count = List.length t.events - events_before in
+      let rec nth_new l n = match (l, n) with x :: _, 0 -> Some x | _ :: r, n -> nth_new r (n - 1) | [], _ -> None in
+      match if new_count > 0 then nth_new t.events 0 else None with
+      | Some (Hw.Trap.Exception Hw.Trap.Ecall_user) -> Exited
+      | Some (Hw.Trap.Interrupt _) -> Preempted
+      | Some e -> Faulted e
+      | None -> Exited
+    end
+  in
+  c.Hw.Machine.satp_root <- None;
+  (outcome, a0)

@@ -1,0 +1,103 @@
+(** The untrusted operating system model.
+
+    The OS makes every resource-management {e decision} — which metadata
+    addresses, which memory units, which core, when to preempt — and the
+    monitor merely verifies them. Nothing in this library is trusted;
+    the isolation experiments drive deliberately malicious variants of
+    it ({!Sanctorum_attack}). *)
+
+type t
+
+type run_outcome =
+  | Exited  (** the enclave called exit_enclave *)
+  | Preempted  (** a timer interrupt forced an AEX *)
+  | Faulted of Sanctorum_hw.Trap.cause  (** AEX caused by an exception *)
+  | Fuel_exhausted
+
+type installed = {
+  eid : int;
+  tids : int list;
+  shared_paddrs : (int * int * int) list;
+      (** (vaddr, paddr, len): where each shared window of the image
+          landed in untrusted memory *)
+}
+
+val create : Sanctorum.Sm.t -> t
+(** Boot the OS on a monitored machine. Installs the OS trap handler
+    (receiving the monitor's delegated events) and builds the physical
+    allocator over grantable memory. *)
+
+val sm : t -> Sanctorum.Sm.t
+val machine : t -> Sanctorum_hw.Machine.t
+
+(** {2 Allocation decisions} *)
+
+val alloc_metadata : t -> [ `Enclave | `Thread ] -> int
+(** Pick a fresh metadata address for the monitor to validate. *)
+
+val release_metadata : t -> [ `Enclave | `Thread ] -> int -> unit
+(** Recycle a metadata address after the monitor released the slot. *)
+
+val alloc_staging : t -> bytes:int -> int
+(** Page-aligned scratch memory in the OS's own (never granted) heap,
+    e.g. to stage enclave pages or share buffers with enclaves. *)
+
+val alloc_units : t -> count:int -> int list
+(** Reserve [count] grantable memory units, ascending and contiguous.
+    Raises [Out_of_memory] if the pool is exhausted. *)
+
+val free_units : t -> int list -> unit
+
+val unit_bytes : t -> int
+
+val os_write : t -> paddr:int -> string -> unit
+(** A native store by OS code into memory it owns (asserts ownership —
+    a real OS load/store to foreign memory faults in the machine, which
+    the attack suite demonstrates at the ISA level). *)
+
+val os_read : t -> paddr:int -> len:int -> string
+
+(** {2 Enclave management} *)
+
+val install_enclave : t -> Sanctorum.Image.t -> (installed, Sanctorum.Api_error.t) result
+(** The full loading sequence of Fig. 3: create, grant memory, allocate
+    page tables, load pages, map shared windows, load threads, init.
+    Follows the canonical order of {!Sanctorum.Image.measurement}. *)
+
+val reclaim_enclave : t -> eid:int -> unit Sanctorum.Api_error.result
+(** delete_enclave followed by cleaning every blocked unit — the Fig. 2
+    cycle back to [available] (and re-granting to the OS pool). *)
+
+val run_enclave :
+  t -> eid:int -> tid:int -> core:int -> fuel:int -> ?quantum:int -> unit ->
+  (run_outcome, Sanctorum.Api_error.t) result
+(** enter_enclave then run the core. [quantum] (cycles), when given,
+    arms the OS preemption timer. *)
+
+val resume_enclave :
+  t -> eid:int -> tid:int -> core:int -> fuel:int -> ?quantum:int -> unit ->
+  (run_outcome, Sanctorum.Api_error.t) result
+(** Re-enter after an AEX (the enclave sees a0 = 1). *)
+
+(** {2 Untrusted programs}
+
+    The OS can also run ordinary user programs in its own protection
+    domain — the baseline the enclave experiments compare against. *)
+
+val run_untrusted_program :
+  t ->
+  code:Sanctorum_hw.Isa.t list ->
+  core:int ->
+  fuel:int ->
+  ?data_pages:int ->
+  unit ->
+  run_outcome * int64
+(** Builds OS page tables in OS memory, runs the program at virtual
+    0x400000, returns the outcome and the final a0 value. The program
+    signals completion with [ecall] (an OS syscall). *)
+
+val delegated_events : t -> Sanctorum_hw.Trap.cause list
+(** Every event the monitor delegated to the OS, oldest first — what a
+    (possibly malicious) OS gets to observe. *)
+
+val clear_delegated_events : t -> unit

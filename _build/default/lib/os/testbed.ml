@@ -1,0 +1,43 @@
+module Hw = Sanctorum_hw
+module Pf = Sanctorum_platform
+module Crypto = Sanctorum_crypto
+
+type backend = Sanctum_backend | Keystone_backend
+
+type t = {
+  platform : Pf.Platform.t;
+  machine : Hw.Machine.t;
+  sm : Sanctorum.Sm.t;
+  os : Os.t;
+  rng : Crypto.Drbg.t;
+}
+
+let backend_name = function
+  | Sanctum_backend -> "sanctum"
+  | Keystone_backend -> "keystone"
+
+let create ?(backend = Sanctum_backend) ?(cores = 4)
+    ?(mem_bytes = 16 * 1024 * 1024) ?l2 ?(seed = "testbed") () =
+  let base = Hw.Machine.default_config in
+  let l2 = Option.value ~default:base.Hw.Machine.l2 l2 in
+  let machine = Hw.Machine.create { base with cores; mem_bytes; l2 } in
+  let platform =
+    match backend with
+    | Sanctum_backend -> Pf.Sanctum.create machine
+    | Keystone_backend -> Pf.Keystone.create machine
+  in
+  let root = Sanctorum.Boot.manufacturer_root ~seed in
+  let identity =
+    Sanctorum.Boot.perform ~root ~device_secret:("device-secret-" ^ seed)
+      ~sm_binary:Sanctorum.Sm.binary_image
+  in
+  let sm =
+    Sanctorum.Sm.boot ~platform ~identity
+      ~signing_enclave_measurement:
+        Sanctorum.Attestation.signing_expected_measurement
+  in
+  let os = Os.create sm in
+  { platform; machine; sm; os; rng = Crypto.Drbg.create ~seed }
+
+let install_signing_enclave t =
+  Os.install_enclave t.os Sanctorum.Attestation.signing_image

@@ -1,0 +1,31 @@
+(** One-call bring-up of the whole stack — machine, platform backend,
+    secure boot, monitor, OS — shared by the examples, tests and
+    benchmarks. *)
+
+type backend = Sanctum_backend | Keystone_backend
+
+type t = {
+  platform : Sanctorum_platform.Platform.t;
+  machine : Sanctorum_hw.Machine.t;
+  sm : Sanctorum.Sm.t;
+  os : Os.t;
+  rng : Sanctorum_crypto.Drbg.t;  (** deterministic per [seed] *)
+}
+
+val create :
+  ?backend:backend ->
+  ?cores:int ->
+  ?mem_bytes:int ->
+  ?l2:Sanctorum_hw.Cache.config ->
+  ?seed:string ->
+  unit ->
+  t
+(** Defaults: Sanctum backend, 4 cores, 16 MiB of memory, seed
+    "testbed". The manufacturer root, device secret and DRBG are all
+    derived from [seed], so runs are reproducible. *)
+
+val backend_name : backend -> string
+
+val install_signing_enclave : t -> (Os.installed, Sanctorum.Api_error.t) result
+(** Load the canonical signing enclave (§VI-C); its measurement matches
+    the constant the monitor was booted with. *)

@@ -1,0 +1,1 @@
+lib/platform/keystone.ml: Array List Owner_map Platform Sanctorum_hw Sanctorum_util

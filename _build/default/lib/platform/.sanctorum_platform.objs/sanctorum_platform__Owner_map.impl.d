@@ -1,0 +1,1 @@
+lib/platform/owner_map.ml: Array List Sanctorum_hw

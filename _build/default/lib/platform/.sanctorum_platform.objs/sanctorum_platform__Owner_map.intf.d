@@ -1,0 +1,1 @@
+lib/platform/owner_map.mli: Sanctorum_hw

@@ -1,0 +1,1 @@
+lib/platform/sanctum.ml: Array Owner_map Platform Sanctorum_hw Sanctorum_util

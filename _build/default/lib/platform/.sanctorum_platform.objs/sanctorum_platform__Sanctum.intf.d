@@ -1,0 +1,1 @@
+lib/platform/sanctum.mli: Platform Sanctorum_hw

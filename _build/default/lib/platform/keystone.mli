@@ -1,0 +1,10 @@
+(** The Keystone backend (§VII-B): standard RISC-V hardware, isolation
+    by physical memory protection (PMP). The monitor's memory is covered
+    by a locked deny-all entry; each protection-domain switch reprograms
+    the core's remaining entries: allow the incoming domain's ranges,
+    deny every other enclave's ranges, and leave a lowest-priority
+    allow-all so OS-shared memory stays reachable. The LLC is {e not}
+    partitioned — Keystone's threat model excludes microarchitectural
+    side channels, which experiment S1 makes observable. *)
+
+val create : Sanctorum_hw.Machine.t -> Platform.t

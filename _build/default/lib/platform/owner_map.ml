@@ -1,0 +1,52 @@
+module Hw = Sanctorum_hw
+
+type t = { owners : int array }
+
+let page = Hw.Phys_mem.page_size
+
+let create mem ~initial_owner =
+  { owners = Array.make (Hw.Phys_mem.size mem / page) initial_owner }
+
+let owner_at t ~paddr =
+  let p = paddr / page in
+  if p < 0 || p >= Array.length t.owners then
+    invalid_arg "Owner_map.owner_at: address out of range";
+  t.owners.(p)
+
+let check_aligned lo hi =
+  if lo mod page <> 0 || hi mod page <> 0 || lo > hi then
+    invalid_arg "Owner_map: range must be page-aligned"
+
+let set_range t ~lo ~hi domain =
+  check_aligned lo hi;
+  for p = lo / page to (hi / page) - 1 do
+    t.owners.(p) <- domain
+  done
+
+let range_owned_by t ~lo ~hi domain =
+  check_aligned lo hi;
+  let ok = ref (lo < hi) in
+  for p = lo / page to (hi / page) - 1 do
+    if t.owners.(p) <> domain then ok := false
+  done;
+  !ok
+
+let pages t = Array.length t.owners
+
+let domain_ranges t domain =
+  let n = Array.length t.owners in
+  let rec scan p acc current =
+    if p = n then begin
+      match current with
+      | Some lo -> List.rev ((lo, n * page) :: acc)
+      | None -> List.rev acc
+    end
+    else if t.owners.(p) = domain then
+      scan (p + 1) acc (match current with Some _ -> current | None -> Some (p * page))
+    else begin
+      match current with
+      | Some lo -> scan (p + 1) ((lo, p * page) :: acc) None
+      | None -> scan (p + 1) acc None
+    end
+  in
+  scan 0 [] None

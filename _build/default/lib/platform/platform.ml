@@ -1,0 +1,14 @@
+type t = {
+  name : string;
+  machine : Sanctorum_hw.Machine.t;
+  alloc_unit : int;
+  llc_partitioned : bool;
+  assign_range :
+    lo:int -> hi:int -> Sanctorum_hw.Trap.domain -> (unit, string) result;
+  owner_at : paddr:int -> Sanctorum_hw.Trap.domain;
+  clean_range : lo:int -> hi:int -> unit;
+  enter_domain : core:Sanctorum_hw.Machine.core -> Sanctorum_hw.Trap.domain -> unit;
+  ranges_of_domain : Sanctorum_hw.Trap.domain -> (int * int) list;
+}
+
+let sm_memory_bytes = 512 * 1024

@@ -1,0 +1,34 @@
+(** The isolation-primitive interface the security monitor programs
+    against (paper §IV-B, §VII). The monitor never touches DRAM regions
+    or PMP entries directly: it requests domain assignments, cleaning,
+    and core switches through this interface, and the backend maps them
+    to its hardware primitive. *)
+
+type t = {
+  name : string;
+  machine : Sanctorum_hw.Machine.t;
+  alloc_unit : int;
+      (** granularity (bytes) at which memory changes owner: one DRAM
+          region on Sanctum, one page on Keystone *)
+  llc_partitioned : bool;
+      (** whether the LLC is isolated across domains (§VII-A vs
+          §VII-B: Keystone does not partition microarchitectural
+          state) *)
+  assign_range :
+    lo:int -> hi:int -> Sanctorum_hw.Trap.domain -> (unit, string) result;
+      (** give [lo, hi) to a domain; fails if misaligned for the
+          backend's granularity or out of hardware resources *)
+  owner_at : paddr:int -> Sanctorum_hw.Trap.domain;
+  clean_range : lo:int -> hi:int -> unit;
+      (** zero the memory and scrub cache state so no residue crosses a
+          re-allocation (Fig. 2 [clean]) *)
+  enter_domain : core:Sanctorum_hw.Machine.core -> Sanctorum_hw.Trap.domain -> unit;
+      (** retarget a core to a protection domain: flushes
+          time-multiplexed core state (L1, TLB) and reprograms the
+          primitive as needed *)
+  ranges_of_domain : Sanctorum_hw.Trap.domain -> (int * int) list;
+}
+
+val sm_memory_bytes : int
+(** Bytes at the bottom of physical memory reserved for the monitor's
+    own image and metadata, on every backend. *)

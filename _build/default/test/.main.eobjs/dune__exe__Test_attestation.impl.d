@@ -1,0 +1,1 @@
+test/test_attestation.ml: Alcotest Char Os Result Sanctorum Sanctorum_crypto Sanctorum_hw Sanctorum_os String Testbed

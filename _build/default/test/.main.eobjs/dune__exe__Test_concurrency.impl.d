@@ -1,0 +1,1 @@
+test/test_concurrency.ml: Alcotest List Os Result Sanctorum Sanctorum_hw Sanctorum_os Testbed

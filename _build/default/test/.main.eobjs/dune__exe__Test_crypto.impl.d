@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Char List QCheck2 QCheck_alcotest Sanctorum_crypto Sanctorum_util String

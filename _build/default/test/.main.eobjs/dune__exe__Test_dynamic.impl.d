@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest Int64 List Os Result Sanctorum Sanctorum_attack Sanctorum_hw Sanctorum_os Sanctorum_platform Testbed

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest List Os Result Sanctorum Sanctorum_attack Sanctorum_hw Sanctorum_os Sanctorum_util Testbed

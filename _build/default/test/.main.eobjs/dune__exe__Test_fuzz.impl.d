@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Hashtbl List Os QCheck2 QCheck_alcotest Sanctorum Sanctorum_hw Sanctorum_os Sanctorum_platform Testbed

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Int64 List QCheck2 QCheck_alcotest Sanctorum_hw String

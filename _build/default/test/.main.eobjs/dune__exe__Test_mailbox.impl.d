@@ -1,0 +1,1 @@
+test/test_mailbox.ml: Alcotest Os Result Sanctorum Sanctorum_hw Sanctorum_os String Testbed

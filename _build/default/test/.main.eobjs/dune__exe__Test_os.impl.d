@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest List Os Result Sanctorum Sanctorum_hw Sanctorum_os Testbed

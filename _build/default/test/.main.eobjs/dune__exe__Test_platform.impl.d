@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest List Sanctorum_hw Sanctorum_os Sanctorum_platform String Testbed

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest List Os Result Sanctorum Sanctorum_attack Sanctorum_hw Sanctorum_os String Testbed

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest QCheck2 QCheck_alcotest Sanctorum_util

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "sanctorum"
+    [
+      Test_util.suite;
+      Test_crypto.suite;
+      Test_hw.suite;
+      Test_platform.suite;
+      Test_resource.suite;
+      Test_enclave.suite;
+      Test_thread.suite;
+      Test_mailbox.suite;
+      Test_exec.suite;
+      Test_concurrency.suite;
+      Test_attestation.suite;
+      Test_isolation.suite;
+      Test_os.suite;
+      Test_robustness.suite;
+      Test_dynamic.suite;
+      Test_fuzz.suite;
+    ]

@@ -1,0 +1,391 @@
+module C = Sanctorum_crypto
+module Hex = Sanctorum_util.Hex
+
+let check = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let hex s = Hex.encode s
+
+(* FIPS 202 vectors (cross-checked against Python hashlib). *)
+let test_sha3_vectors () =
+  check "sha3-256 empty"
+    "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"
+    (hex (C.Sha3.sha3_256 ""));
+  check "sha3-256 abc"
+    "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532"
+    (hex (C.Sha3.sha3_256 "abc"));
+  check "sha3-512 abc"
+    "b751850b1a57168a5693cd924b6b096e08f621827444f70d884f5d0240d2712e10e116e9192af3c91a7ec57647e3934057340b4cf408d5a56592f8274eec53f0"
+    (hex (C.Sha3.sha3_512 "abc"));
+  check "shake128 abc"
+    "5881092dd818bf5cf8a3ddb793fbcba7"
+    (hex (C.Sha3.shake128 ~len:16 "abc"));
+  let m1024 = String.concat "" (List.init 4 (fun _ -> String.init 256 Char.chr)) in
+  check "sha3-256 1KiB"
+    "b6c70631c6ff932b9f380d9cde8750eb9bea393817a9aea410c2119eb7b9b870"
+    (hex (C.Sha3.sha3_256 m1024));
+  check "sha3-512 1KiB"
+    "b052fd4a09f988bbe4112d9a3eca8ccc517e56da866c1609504c37871146da80731bb681674a2000a41bcb78230b3d9069eb42820293ce23cba294550a1d4d3b"
+    (hex (C.Sha3.sha3_512 m1024));
+  check "shake256 1KiB"
+    "60aff3fd4c0f158ba0ed6890336a907451281739d48cc8315211b3666061974229707d69e66dfc1961e752f68c312cdc17f006c5cebbb186c9fbc8e33e86fe0b"
+    (hex (C.Sha3.shake256 ~len:64 m1024))
+
+(* Rate-boundary messages exercise the padding logic. *)
+let test_sha3_boundaries () =
+  check "135 bytes" "8094bb53c44cfb1e67b7c30447f9a1c33696d2463ecc1d9c92538913392843c9"
+    (hex (C.Sha3.sha3_256 (String.make 135 'a')));
+  check "136 bytes" "3fc5559f14db8e453a0a3091edbd2bc25e11528d81c66fa570a4efdcc2695ee1"
+    (hex (C.Sha3.sha3_256 (String.make 136 'a')));
+  check "137 bytes" "f8d6846cedd2ccfadf15c5879ef95af724d799eed7391fb1c91f95344e738614"
+    (hex (C.Sha3.sha3_256 (String.make 137 'a')))
+
+let test_sha3_streaming () =
+  let t = C.Sha3.init_sha3_256 () in
+  C.Sha3.absorb t "ab";
+  C.Sha3.absorb t "";
+  C.Sha3.absorb t "c";
+  check "streaming = one-shot" (hex (C.Sha3.sha3_256 "abc"))
+    (hex (C.Sha3.finalize t ~len:32));
+  Alcotest.check_raises "double finalize"
+    (Invalid_argument "Sha3.finalize: context already finalized") (fun () ->
+      ignore (C.Sha3.finalize t ~len:32))
+
+let test_hmac () =
+  let tag = C.Hmac.mac ~key:"key" "message" in
+  Alcotest.(check int) "tag size" 32 (String.length tag);
+  check_bool "verify ok" true (C.Hmac.verify ~key:"key" ~msg:"message" ~tag);
+  check_bool "verify bad msg" false
+    (C.Hmac.verify ~key:"key" ~msg:"messagf" ~tag);
+  check_bool "verify bad key" false
+    (C.Hmac.verify ~key:"kez" ~msg:"message" ~tag);
+  (* long keys are hashed down *)
+  let long_key = String.make 500 'k' in
+  let tag2 = C.Hmac.mac ~key:long_key "m" in
+  check_bool "long key verifies" true
+    (C.Hmac.verify ~key:long_key ~msg:"m" ~tag:tag2);
+  check_bool "distinct keys distinct tags" true (tag <> tag2)
+
+let test_hkdf () =
+  let a = C.Hkdf.derive ~salt:"s" ~ikm:"secret" ~info:"ctx" ~len:64 in
+  let b = C.Hkdf.derive ~salt:"s" ~ikm:"secret" ~info:"ctx" ~len:64 in
+  let c = C.Hkdf.derive ~salt:"s" ~ikm:"secret" ~info:"other" ~len:64 in
+  Alcotest.(check int) "length" 64 (String.length a);
+  check "deterministic" (hex a) (hex b);
+  check_bool "info separates" true (a <> c);
+  (* expand prefix property: a 32-byte request is a prefix of a 64-byte
+     request with the same inputs *)
+  let short = C.Hkdf.derive ~salt:"s" ~ikm:"secret" ~info:"ctx" ~len:32 in
+  check "prefix" (hex short) (hex (String.sub a 0 32))
+
+let test_drbg () =
+  let r1 = C.Drbg.create ~seed:"seed" in
+  let r2 = C.Drbg.create ~seed:"seed" in
+  check "deterministic" (hex (C.Drbg.random_bytes r1 48))
+    (hex (C.Drbg.random_bytes r2 48));
+  check_bool "stream advances" true
+    (C.Drbg.random_bytes r1 16 <> C.Drbg.random_bytes r1 16);
+  let r3 = C.Drbg.create ~seed:"other" in
+  check_bool "seed separates" true
+    (C.Drbg.random_bytes r3 16 <> C.Drbg.random_bytes r2 16);
+  let bound = 10 in
+  for _ = 1 to 100 do
+    let v = C.Drbg.random_int r1 bound in
+    if v < 0 || v >= bound then Alcotest.fail "random_int out of range"
+  done;
+  let m = C.Bignum.of_int 1000 in
+  for _ = 1 to 50 do
+    let s = C.Drbg.random_scalar r1 ~m in
+    if C.Bignum.is_zero s || C.Bignum.compare s m >= 0 then
+      Alcotest.fail "random_scalar out of range"
+  done
+
+let bn = C.Bignum.of_decimal
+
+let test_bignum_basic () =
+  let a = bn "123456789012345678901234567890" in
+  let b = bn "987654321098765432109876543210" in
+  check "add" "1111111110111111111011111111100"
+    (C.Bignum.to_hex (C.Bignum.add a b) |> fun h ->
+     (* compare via decimal reconstruction instead *)
+     ignore h;
+     let sum = C.Bignum.add a b in
+     if C.Bignum.equal sum (bn "1111111110111111111011111111100") then
+       "1111111110111111111011111111100"
+     else "mismatch");
+  check_bool "sub" true
+    (C.Bignum.equal (C.Bignum.sub b a) (bn "864197532086419753208641975320"));
+  check_bool "mul" true
+    (C.Bignum.equal (C.Bignum.mul a b)
+       (bn "121932631137021795226185032733622923332237463801111263526900"));
+  let q, r = C.Bignum.divmod b a in
+  check_bool "div" true (C.Bignum.equal q (C.Bignum.of_int 8));
+  check_bool "rem" true (C.Bignum.equal r (bn "9000000000900000000090"));
+  Alcotest.check_raises "negative sub"
+    (Invalid_argument "Bignum.sub: negative result") (fun () ->
+      ignore (C.Bignum.sub a b));
+  (match C.Bignum.divmod a C.Bignum.zero with
+  | exception Division_by_zero -> ()
+  | _ -> Alcotest.fail "division by zero not raised");
+  check_bool "to_int small" true
+    (C.Bignum.to_int_opt (C.Bignum.of_int 123456) = Some 123456);
+  check_bool "to_int large" true (C.Bignum.to_int_opt a = None)
+
+let test_bignum_modular () =
+  let p = C.Field.p in
+  check_bool "p is prime" true (C.Bignum.is_probable_prime p);
+  check_bool "L is prime" true (C.Bignum.is_probable_prime C.Curve.order);
+  check_bool "30 is composite" false
+    (C.Bignum.is_probable_prime (C.Bignum.of_int 30));
+  check_bool "2^61-1 prime" true
+    (C.Bignum.is_probable_prime
+       (C.Bignum.sub (C.Bignum.shift_left C.Bignum.one 61) C.Bignum.one));
+  check_bool "2^67-1 composite" false
+    (C.Bignum.is_probable_prime
+       (C.Bignum.sub (C.Bignum.shift_left C.Bignum.one 67) C.Bignum.one));
+  (* Fermat: a^(p-1) = 1 mod p *)
+  let a = bn "31415926535897932384626433832795" in
+  check_bool "fermat" true
+    (C.Bignum.equal
+       (C.Bignum.mod_exp a (C.Bignum.sub p C.Bignum.one) ~m:p)
+       C.Bignum.one);
+  let inv = C.Bignum.mod_inv a ~m:p in
+  check_bool "mod_inv" true
+    (C.Bignum.equal (C.Bignum.mod_mul a inv ~m:p) C.Bignum.one)
+
+let test_bignum_bytes () =
+  let a = bn "1234567890123456789" in
+  let be = C.Bignum.to_bytes_be ~len:16 a in
+  check_bool "be roundtrip" true (C.Bignum.equal (C.Bignum.of_bytes_be be) a);
+  let le = C.Bignum.to_bytes_le ~len:16 a in
+  check_bool "le roundtrip" true (C.Bignum.equal (C.Bignum.of_bytes_le le) a);
+  check_bool "hex roundtrip" true
+    (C.Bignum.equal (C.Bignum.of_hex (C.Bignum.to_hex a)) a)
+
+let gen_bignum =
+  QCheck2.Gen.(
+    map
+      (fun l -> C.Bignum.of_bytes_be (String.concat "" (List.map (String.make 1) l)))
+      (list_size (int_range 0 40) char))
+
+let qcheck_bignum_add_sub =
+  QCheck2.Test.make ~name:"bignum (a+b)-b = a" ~count:300
+    QCheck2.Gen.(pair gen_bignum gen_bignum)
+    (fun (a, b) ->
+      C.Bignum.equal (C.Bignum.sub (C.Bignum.add a b) b) a)
+
+let qcheck_bignum_divmod =
+  QCheck2.Test.make ~name:"bignum divmod reconstruction" ~count:300
+    QCheck2.Gen.(pair gen_bignum gen_bignum)
+    (fun (a, b) ->
+      if C.Bignum.is_zero b then true
+      else begin
+        let q, r = C.Bignum.divmod a b in
+        C.Bignum.compare r b < 0
+        && C.Bignum.equal (C.Bignum.add (C.Bignum.mul q b) r) a
+      end)
+
+let qcheck_bignum_mul_comm =
+  QCheck2.Test.make ~name:"bignum mul commutes" ~count:200
+    QCheck2.Gen.(pair gen_bignum gen_bignum)
+    (fun (a, b) -> C.Bignum.equal (C.Bignum.mul a b) (C.Bignum.mul b a))
+
+let qcheck_bignum_shift =
+  QCheck2.Test.make ~name:"bignum shift left/right inverse" ~count:200
+    QCheck2.Gen.(pair gen_bignum (int_range 0 100))
+    (fun (a, n) ->
+      C.Bignum.equal (C.Bignum.shift_right (C.Bignum.shift_left a n) n) a)
+
+let test_field () =
+  let x = C.Field.of_int 12345 in
+  let y = C.Field.of_int 67890 in
+  check_bool "add comm" true
+    (C.Field.equal (C.Field.add x y) (C.Field.add y x));
+  check_bool "inv" true
+    (C.Field.equal (C.Field.mul x (C.Field.inv x)) C.Field.one);
+  check_bool "neg" true
+    (C.Field.equal (C.Field.add x (C.Field.neg x)) C.Field.zero);
+  (* sqrt of a square is a square root *)
+  let sq = C.Field.square x in
+  (match C.Field.sqrt sq with
+  | None -> Alcotest.fail "square has no root"
+  | Some r -> check_bool "sqrt" true (C.Field.equal (C.Field.square r) sq));
+  (* -1 is a QR mod p (p = 1 mod 4), 2 is not a QR mod 2^255-19 *)
+  (match C.Field.sqrt (C.Field.neg C.Field.one) with
+  | None -> Alcotest.fail "-1 should be a QR"
+  | Some r ->
+      check_bool "sqrt(-1)^2 = -1" true
+        (C.Field.equal (C.Field.square r) (C.Field.neg C.Field.one)));
+  check_bool "2 is not a QR" true (C.Field.sqrt (C.Field.of_int 2) = None);
+  (* byte roundtrip *)
+  let b = C.Field.to_bytes_le x in
+  Alcotest.(check int) "32 bytes" 32 (String.length b);
+  check_bool "bytes roundtrip" true (C.Field.equal (C.Field.of_bytes_le b) x)
+
+let test_curve () =
+  let module Cv = C.Curve in
+  check_bool "base on curve" true (Cv.is_on_curve Cv.base);
+  check_bool "identity on curve" true (Cv.is_on_curve Cv.identity);
+  (* Base point matches the published Ed25519 constants. *)
+  let x, y = Cv.to_affine Cv.base in
+  check "Bx"
+    "216936d3cd6e53fec0a4e231fdd6dc5c692cc7609525a7b2c9562d608f25d51a"
+    (C.Bignum.to_hex (C.Field.to_bignum x));
+  check "By"
+    "6666666666666666666666666666666666666666666666666666666666666658"
+    (C.Bignum.to_hex (C.Field.to_bignum y));
+  (* group laws *)
+  let p2 = Cv.double Cv.base in
+  check_bool "2B = B+B" true (Cv.equal p2 (Cv.add Cv.base Cv.base));
+  check_bool "B + id = B" true (Cv.equal (Cv.add Cv.base Cv.identity) Cv.base);
+  check_bool "B - B = id" true
+    (Cv.equal (Cv.add Cv.base (Cv.negate Cv.base)) Cv.identity);
+  check_bool "L*B = id" true
+    (Cv.equal (Cv.scalar_mul Cv.order Cv.base) Cv.identity);
+  let three = C.Bignum.of_int 3 and two = C.Bignum.of_int 2 in
+  check_bool "3B = 2B + B" true
+    (Cv.equal (Cv.scalar_mul three Cv.base) (Cv.add (Cv.scalar_mul two Cv.base) Cv.base));
+  (* encode / decode *)
+  let e = Cv.encode p2 in
+  Alcotest.(check int) "encoded size" Cv.encoded_size (String.length e);
+  (match Cv.decode e with
+  | Ok q -> check_bool "decode roundtrip" true (Cv.equal q p2)
+  | Error m -> Alcotest.fail m);
+  (match Cv.decode (String.make Cv.encoded_size '\x01') with
+  | Ok _ -> Alcotest.fail "junk decoded as a point"
+  | Error _ -> ());
+  (match Cv.decode "short" with
+  | Ok _ -> Alcotest.fail "short string decoded"
+  | Error _ -> ())
+
+let qcheck_curve_scalar_homomorphism =
+  let gen = QCheck2.Gen.(pair (int_range 1 5000) (int_range 1 5000)) in
+  QCheck2.Test.make ~name:"(a+b)B = aB + bB" ~count:20 gen (fun (a, b) ->
+      let module Cv = C.Curve in
+      let open C.Bignum in
+      Cv.equal
+        (Cv.scalar_mul (of_int (a + b)) Cv.base)
+        (Cv.add (Cv.scalar_mul (of_int a) Cv.base) (Cv.scalar_mul (of_int b) Cv.base)))
+
+let test_schnorr () =
+  let sk = C.Schnorr.secret_key_of_seed "alpha" in
+  let pk = C.Schnorr.public_key sk in
+  let s = C.Schnorr.sign sk "hello world" in
+  Alcotest.(check int) "sig size" C.Schnorr.signature_size (String.length s);
+  check_bool "verify" true (C.Schnorr.verify pk ~msg:"hello world" ~signature:s);
+  check_bool "wrong msg" false (C.Schnorr.verify pk ~msg:"hello worle" ~signature:s);
+  check_bool "empty msg verify" true
+    (C.Schnorr.verify pk ~msg:"" ~signature:(C.Schnorr.sign sk ""));
+  (* tamper every component *)
+  let flip i =
+    String.mapi (fun j c -> if j = i then Char.chr (Char.code c lxor 1) else c) s
+  in
+  check_bool "tampered R" false
+    (C.Schnorr.verify pk ~msg:"hello world" ~signature:(flip 0));
+  check_bool "tampered s" false
+    (C.Schnorr.verify pk ~msg:"hello world"
+       ~signature:(flip (C.Schnorr.signature_size - 1)));
+  check_bool "truncated" false
+    (C.Schnorr.verify pk ~msg:"hello world" ~signature:(String.sub s 0 64));
+  (* wrong key *)
+  let pk2 = C.Schnorr.public_key (C.Schnorr.secret_key_of_seed "beta") in
+  check_bool "wrong key" false
+    (C.Schnorr.verify pk2 ~msg:"hello world" ~signature:s);
+  (* determinism of key derivation *)
+  let sk' = C.Schnorr.secret_key_of_seed "alpha" in
+  check "deterministic keys"
+    (hex (C.Schnorr.public_key_to_bytes pk))
+    (hex (C.Schnorr.public_key_to_bytes (C.Schnorr.public_key sk')));
+  (* public key bytes roundtrip *)
+  match C.Schnorr.public_key_of_bytes (C.Schnorr.public_key_to_bytes pk) with
+  | Ok pk3 ->
+      check_bool "pk roundtrip verifies" true
+        (C.Schnorr.verify pk3 ~msg:"hello world" ~signature:s)
+  | Error m -> Alcotest.fail m
+
+let test_dh () =
+  let rng = C.Drbg.create ~seed:"dh" in
+  let sa, pa = C.Dh.generate rng in
+  let sb, pb = C.Dh.generate rng in
+  check "shared key agreement" (hex (C.Dh.shared_key sa pb))
+    (hex (C.Dh.shared_key sb pa));
+  let sc, _pc = C.Dh.generate rng in
+  check_bool "third party differs" true
+    (C.Dh.shared_key sc pb <> C.Dh.shared_key sa pb);
+  match C.Dh.public_of_bytes (C.Dh.public_to_bytes pa) with
+  | Ok pa' -> check "pub roundtrip" (hex (C.Dh.shared_key sb pa)) (hex (C.Dh.shared_key sb pa'))
+  | Error m -> Alcotest.fail m
+
+let test_cert () =
+  let root = C.Schnorr.secret_key_of_seed "root" in
+  let mid = C.Schnorr.secret_key_of_seed "mid" in
+  let leaf = C.Schnorr.secret_key_of_seed "leaf" in
+  let c1 =
+    C.Cert.issue ~issuer:"root" ~issuer_key:root ~subject:"mid"
+      ~subject_key:(C.Schnorr.public_key mid) ()
+  in
+  let c2 =
+    C.Cert.issue ~issuer:"mid" ~issuer_key:mid ~subject:"leaf"
+      ~subject_key:(C.Schnorr.public_key leaf)
+      ~bound_measurement:(C.Sha3.sha3_256 "binary") ()
+  in
+  check_bool "sig ok" true
+    (C.Cert.verify_signature c1 ~issuer_key:(C.Schnorr.public_key root));
+  check_bool "sig wrong issuer" false
+    (C.Cert.verify_signature c1 ~issuer_key:(C.Schnorr.public_key mid));
+  (match C.Cert.verify_chain ~root:(C.Schnorr.public_key root) [ c1; c2 ] with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  (match C.Cert.verify_chain ~root:(C.Schnorr.public_key mid) [ c1; c2 ] with
+  | Ok _ -> Alcotest.fail "chain verified under wrong root"
+  | Error _ -> ());
+  (match C.Cert.verify_chain ~root:(C.Schnorr.public_key root) [ c2; c1 ] with
+  | Ok _ -> Alcotest.fail "reordered chain verified"
+  | Error _ -> ());
+  (match C.Cert.verify_chain ~root:(C.Schnorr.public_key root) [] with
+  | Ok _ -> Alcotest.fail "empty chain verified"
+  | Error _ -> ());
+  (* serialization roundtrip *)
+  (match C.Cert.deserialize (C.Cert.serialize c2) with
+  | Ok c2' ->
+      check_bool "roundtrip verifies" true
+        (C.Cert.verify_signature c2' ~issuer_key:(C.Schnorr.public_key mid));
+      check_bool "measurement kept" true
+        (c2'.C.Cert.bound_measurement = c2.C.Cert.bound_measurement)
+  | Error m -> Alcotest.fail m);
+  (* tampered serialization *)
+  let blob = C.Cert.serialize c2 in
+  let tampered =
+    String.mapi
+      (fun i c -> if i = String.length blob - 1 then Char.chr (Char.code c lxor 1) else c)
+      blob
+  in
+  match C.Cert.deserialize tampered with
+  | Ok c2t ->
+      check_bool "tampered does not verify" false
+        (C.Cert.verify_signature c2t ~issuer_key:(C.Schnorr.public_key mid))
+  | Error _ -> ()
+
+let suite =
+  ( "crypto",
+    [
+      Alcotest.test_case "sha3 FIPS vectors" `Quick test_sha3_vectors;
+      Alcotest.test_case "sha3 rate boundaries" `Quick test_sha3_boundaries;
+      Alcotest.test_case "sha3 streaming" `Quick test_sha3_streaming;
+      Alcotest.test_case "hmac" `Quick test_hmac;
+      Alcotest.test_case "hkdf" `Quick test_hkdf;
+      Alcotest.test_case "drbg" `Quick test_drbg;
+      Alcotest.test_case "bignum basics" `Quick test_bignum_basic;
+      Alcotest.test_case "bignum modular" `Quick test_bignum_modular;
+      Alcotest.test_case "bignum bytes" `Quick test_bignum_bytes;
+      QCheck_alcotest.to_alcotest qcheck_bignum_add_sub;
+      QCheck_alcotest.to_alcotest qcheck_bignum_divmod;
+      QCheck_alcotest.to_alcotest qcheck_bignum_mul_comm;
+      QCheck_alcotest.to_alcotest qcheck_bignum_shift;
+      Alcotest.test_case "field GF(2^255-19)" `Quick test_field;
+      Alcotest.test_case "curve group law" `Quick test_curve;
+      QCheck_alcotest.to_alcotest qcheck_curve_scalar_homomorphism;
+      Alcotest.test_case "schnorr signatures" `Quick test_schnorr;
+      Alcotest.test_case "diffie-hellman" `Quick test_dh;
+      Alcotest.test_case "certificates" `Quick test_cert;
+    ] )

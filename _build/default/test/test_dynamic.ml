@@ -1,0 +1,160 @@
+(* Dynamic behaviours (§V-B/§V-C): true mid-computation resume from an
+   AEX state dump, and co-operative re-allocation of an enclave's own
+   memory while it is alive. *)
+module Hw = Sanctorum_hw
+module S = Sanctorum.Sm
+module E = Sanctorum.Api_error
+module Img = Sanctorum.Image
+open Sanctorum_os
+
+let check_bool = Alcotest.(check bool)
+
+(* A counting loop that, when re-entered after an AEX (a0 = 1), reads
+   the AEX dump back from the monitor, restores its loop registers and
+   jumps to the interrupted pc — losing no progress. *)
+let resumable_counter ~evbase ~target =
+  let open Hw.Isa in
+  let data = evbase + 4096 in
+  let buf = data + 256 in
+  [
+    (* 0 *) Branch (Bne, a0, zero, 44) (* -> resume block at idx 11 *);
+    (* 1 *) Op_imm (Add, t1, zero, 0);
+    (* 2 *) Op_imm (Add, t2, zero, target);
+    (* 3 loop *) Branch (Bge, t1, t2, 12) (* -> done at idx 6 *);
+    (* 4 *) Op_imm (Add, t1, t1, 1);
+    (* 5 *) Jal (zero, -8) (* -> loop *);
+    (* 6 done *) Lui (t4, data lsr 12);
+    (* 7 *) Op_imm (Add, t4, t4, data land 0xfff);
+    (* 8 *) Store (Sd, t1, t4, 0);
+    (* 9 *) Op_imm (Add, a7, zero, S.Ecall.exit_enclave);
+    (* 10 *) Ecall;
+    (* 11 resume *) Op_imm (Add, a0, zero, 0) (* tid 0 = self *);
+    (* 12 *) Lui (a1, buf lsr 12);
+    (* 13 *) Op_imm (Add, a1, a1, buf land 0xfff);
+    (* 14 *) Op_imm (Add, a7, zero, S.Ecall.read_aex_state);
+    (* 15 *) Ecall;
+    (* 16 *) Lui (t0, buf lsr 12);
+    (* 17 *) Op_imm (Add, t0, t0, buf land 0xfff);
+    (* 18 *) Load (Ld, t1, t0, 8 * (6 - 1)) (* x6 = t1 *);
+    (* 19 *) Load (Ld, t2, t0, 8 * (7 - 1)) (* x7 = t2 *);
+    (* 20 *) Load (Ld, t3, t0, 8 * 31) (* interrupted pc *);
+    (* 21 *) Jalr (zero, t3, 0);
+  ]
+
+let test_aex_resume_preserves_progress () =
+  let tb = Testbed.create () in
+  let target = 2000 in
+  let image =
+    Img.of_program ~evbase:0x10000 (resumable_counter ~evbase:0x10000 ~target)
+  in
+  let inst = Result.get_ok (Os.install_enclave tb.Testbed.os image) in
+  let eid = inst.Os.eid and tid = List.hd inst.Os.tids in
+  let preemptions = ref 0 in
+  let rec drive rounds =
+    if rounds > 300 then Alcotest.fail "did not finish in 300 rounds"
+    else begin
+      match
+        Os.run_enclave tb.Testbed.os ~eid ~tid ~core:0 ~fuel:100000
+          ~quantum:800 ()
+      with
+      | Ok Os.Exited -> ()
+      | Ok Os.Preempted ->
+          incr preemptions;
+          drive (rounds + 1)
+      | Ok _ | Error _ -> Alcotest.fail "unexpected outcome"
+    end
+  in
+  drive 0;
+  check_bool "actually preempted" true (!preemptions > 3);
+  (* the final count is exact despite all the interruptions *)
+  let paddrs = Sanctorum_attack.Malicious_os.enclave_paddrs tb.Testbed.os ~eid in
+  let data = List.nth paddrs (List.length (Img.required_page_tables image) + 1) in
+  Alcotest.(check int64)
+    "exact count" (Int64.of_int target)
+    (Hw.Phys_mem.read_u64 (Hw.Machine.mem tb.Testbed.machine) data)
+
+let test_read_aex_requires_pending () =
+  let tb = Testbed.create () in
+  let image =
+    Img.of_program ~evbase:0x10000
+      Hw.Isa.[ Op_imm (Add, a7, zero, S.Ecall.exit_enclave); Ecall ]
+  in
+  let inst = Result.get_ok (Os.install_enclave tb.Testbed.os image) in
+  let eid = inst.Os.eid and tid = List.hd inst.Os.tids in
+  (match
+     S.read_aex_state tb.Testbed.sm ~caller:(S.Enclave_caller eid) ~tid
+   with
+  | Error (E.Invalid_state _) -> ()
+  | Ok _ -> Alcotest.fail "read_aex_state with no pending dump"
+  | Error e -> Alcotest.failf "unexpected: %s" (E.to_string e));
+  (* foreign enclaves are refused *)
+  let other =
+    Result.get_ok
+      (Os.install_enclave tb.Testbed.os
+         (Img.of_program ~evbase:0x40000
+            Hw.Isa.[ Op_imm (Add, a7, zero, S.Ecall.exit_enclave); Ecall ]))
+  in
+  match
+    S.read_aex_state tb.Testbed.sm ~caller:(S.Enclave_caller other.Os.eid) ~tid
+  with
+  | Error E.Unauthorized -> ()
+  | Ok _ -> Alcotest.fail "foreign enclave read an AEX dump"
+  | Error e -> Alcotest.failf "unexpected: %s" (E.to_string e)
+
+(* §V-B: "an enclave may collaborate with the OS to implement dynamic
+   behaviors like re-allocation of resources". The enclave blocks one
+   of its own units via the ecall ABI; the OS cleans and reclaims it;
+   the enclave's subsequent access to that memory faults; memory the
+   enclave kept remains usable. *)
+let test_enclave_blocks_own_memory () =
+  let tb = Testbed.create () in
+  let sm = tb.Testbed.sm in
+  let os = tb.Testbed.os in
+  (* Build an enclave by hand so it owns TWO units: one for its image,
+     one spare that it will give back. *)
+  let image =
+    Img.of_program ~evbase:0x10000
+      Hw.Isa.[ Op_imm (Add, a7, zero, S.Ecall.exit_enclave); Ecall ]
+  in
+  let inst = Result.get_ok (Os.install_enclave os image) in
+  let eid = inst.Os.eid in
+  let spare = List.hd (Os.alloc_units os ~count:1) in
+  let kind = Sanctorum.Resource.Memory_resource in
+  Result.get_ok (S.block_resource sm ~caller:S.Os kind ~rid:spare);
+  Result.get_ok (S.clean_resource sm ~caller:S.Os kind ~rid:spare);
+  Result.get_ok
+    (S.grant_resource sm ~caller:S.Os kind ~rid:spare ~to_:(S.To_enclave eid));
+  Result.get_ok (S.accept_resource sm ~caller:(S.Enclave_caller eid) kind ~rid:spare);
+  (* the enclave now owns the spare unit in hardware *)
+  let pf = tb.Testbed.platform in
+  let spare_lo = spare * S.memory_unit_bytes sm in
+  let domain = Result.get_ok (S.enclave_domain sm ~eid) in
+  check_bool "hw owner is enclave" true
+    (pf.Sanctorum_platform.Platform.owner_at ~paddr:spare_lo = domain);
+  (* enclave blocks it (as its ecall would), OS cleans and takes it *)
+  Result.get_ok (S.block_resource sm ~caller:(S.Enclave_caller eid) kind ~rid:spare);
+  Result.get_ok (S.clean_resource sm ~caller:S.Os kind ~rid:spare);
+  Result.get_ok (S.grant_resource sm ~caller:S.Os kind ~rid:spare ~to_:S.To_os);
+  check_bool "hw owner back to OS" true
+    (pf.Sanctorum_platform.Platform.owner_at ~paddr:spare_lo
+    = Hw.Trap.domain_untrusted);
+  (* the reclaimed memory is zeroed *)
+  check_bool "reclaimed memory zeroed" true
+    (Hw.Phys_mem.read_u64 (Hw.Machine.mem tb.Testbed.machine) spare_lo = 0L);
+  (* and the enclave still runs fine on the memory it kept *)
+  match
+    Os.run_enclave os ~eid ~tid:(List.hd inst.Os.tids) ~core:0 ~fuel:1000 ()
+  with
+  | Ok Os.Exited -> ()
+  | Ok _ | Error _ -> Alcotest.fail "enclave broken by giving back spare memory"
+
+let suite =
+  ( "dynamic",
+    [
+      Alcotest.test_case "AEX resume preserves progress" `Quick
+        test_aex_resume_preserves_progress;
+      Alcotest.test_case "read_aex_state validation" `Quick
+        test_read_aex_requires_pending;
+      Alcotest.test_case "enclave returns memory to the OS" `Quick
+        test_enclave_blocks_own_memory;
+    ] )

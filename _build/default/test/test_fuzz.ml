@@ -1,0 +1,199 @@
+(* API fuzzing: random sequences of OS-level monitor calls — including
+   nonsensical and adversarial ones — must never break the security
+   invariants of DESIGN.md §4:
+
+     I1  resource exclusivity: each memory unit has exactly one owner
+         in monitor bookkeeping, and hardware ownership agrees;
+     I2  the monitor's own memory is never owned by anyone else;
+     I3  an initialized enclave's measurement never changes;
+     I4  no call either crashes or silently corrupts: each call returns
+         Ok or a typed Api_error.
+
+   The generator is deliberately dumb (uniform over a small id space) so
+   that most calls are invalid — exercising the validation paths — while
+   enough succeed to build real enclaves. *)
+
+module Hw = Sanctorum_hw
+module S = Sanctorum.Sm
+module R = Sanctorum.Resource
+open Sanctorum_os
+
+type op =
+  | Create of int * int (* eid slot index, evbase selector *)
+  | AllocPt of int * int * int (* enclave idx, vaddr selector, level *)
+  | LoadPage of int * int (* enclave idx, vaddr selector *)
+  | LoadThread of int * int (* enclave idx, tid slot *)
+  | Init of int
+  | Delete of int
+  | Block of int (* unit selector *)
+  | Clean of int
+  | GrantOs of int
+  | GrantEnclave of int * int (* unit, enclave idx *)
+  | Accept of int * int
+  | Enter of int * int (* enclave idx, core *)
+  | AcceptMail of int * int (* enclave idx, sender idx *)
+  | SendMail of int * int (* sender idx, recipient idx *)
+  | GetMail of int * int
+
+let op_gen =
+  let open QCheck2.Gen in
+  let small = int_range 0 3 in
+  oneof
+    [
+      map2 (fun a b -> Create (a, b)) small small;
+      map3 (fun a b c -> AllocPt (a, b, c)) small small (int_range 0 2);
+      map2 (fun a b -> LoadPage (a, b)) small small;
+      map2 (fun a b -> LoadThread (a, b)) small small;
+      map (fun a -> Init a) small;
+      map (fun a -> Delete a) small;
+      map (fun a -> Block a) small;
+      map (fun a -> Clean a) small;
+      map (fun a -> GrantOs a) small;
+      map2 (fun a b -> GrantEnclave (a, b)) small small;
+      map2 (fun a b -> Accept (a, b)) small small;
+      map2 (fun a b -> Enter (a, b)) small (int_range 0 3);
+      map2 (fun a b -> AcceptMail (a, b)) small small;
+      map2 (fun a b -> SendMail (a, b)) small small;
+      map2 (fun a b -> GetMail (a, b)) small small;
+    ]
+
+(* A fixed id space the generator indexes into. *)
+let eid_of tb i = Sanctorum.Sm.metadata_base tb.Testbed.sm + (i * 4096)
+let tid_of tb i = Sanctorum.Sm.metadata_base tb.Testbed.sm + 65536 + (i * 1024)
+let evbase_of b = 0x10000 + (b * 0x40000)
+let unit_of tb u = ((1024 * 1024) / Os.unit_bytes tb.Testbed.os) + u
+
+let apply tb op : unit =
+  let sm = tb.Testbed.sm in
+  let os_src = 1024 * 1024 - 8192 in
+  ignore os_src;
+  let ignore_result (_ : unit Sanctorum.Api_error.result) = () in
+  match op with
+  | Create (i, b) ->
+      ignore_result
+        (S.create_enclave sm ~caller:S.Os ~eid:(eid_of tb i)
+           ~evbase:(evbase_of b) ~evsize:8192 ())
+  | AllocPt (i, b, level) ->
+      ignore_result
+        (S.allocate_page_table sm ~caller:S.Os ~eid:(eid_of tb i)
+           ~vaddr:(if level = 2 then 0 else evbase_of b)
+           ~level)
+  | LoadPage (i, b) ->
+      ignore_result
+        (S.load_page sm ~caller:S.Os ~eid:(eid_of tb i) ~vaddr:(evbase_of b)
+           ~src_paddr:(768 * 1024) ~r:true ~w:true ~x:false)
+  | LoadThread (i, t) ->
+      ignore_result
+        (S.load_thread sm ~caller:S.Os ~eid:(eid_of tb i) ~tid:(tid_of tb t)
+           ~entry_pc:0x10000L ~entry_sp:0x11ff0L)
+  | Init i -> ignore_result (S.init_enclave sm ~caller:S.Os ~eid:(eid_of tb i))
+  | Delete i -> ignore_result (S.delete_enclave sm ~caller:S.Os ~eid:(eid_of tb i))
+  | Block u ->
+      ignore_result
+        (S.block_resource sm ~caller:S.Os R.Memory_resource ~rid:(unit_of tb u))
+  | Clean u ->
+      ignore_result
+        (S.clean_resource sm ~caller:S.Os R.Memory_resource ~rid:(unit_of tb u))
+  | GrantOs u ->
+      ignore_result
+        (S.grant_resource sm ~caller:S.Os R.Memory_resource ~rid:(unit_of tb u)
+           ~to_:S.To_os)
+  | GrantEnclave (u, i) ->
+      ignore_result
+        (S.grant_resource sm ~caller:S.Os R.Memory_resource ~rid:(unit_of tb u)
+           ~to_:(S.To_enclave (eid_of tb i)))
+  | Accept (u, i) ->
+      ignore_result
+        (S.accept_resource sm
+           ~caller:(S.Enclave_caller (eid_of tb i))
+           R.Memory_resource ~rid:(unit_of tb u))
+  | Enter (i, core) ->
+      ignore_result
+        (S.enter_enclave sm ~caller:S.Os ~eid:(eid_of tb i) ~tid:(tid_of tb 0)
+           ~core)
+  | AcceptMail (i, s) ->
+      ignore_result
+        (S.accept_mail sm
+           ~caller:(S.Enclave_caller (eid_of tb i))
+           ~sender:(Sanctorum.Mailbox.From_enclave (eid_of tb s)))
+  | SendMail (s, r) ->
+      ignore_result
+        (S.send_mail sm
+           ~caller:(S.Enclave_caller (eid_of tb s))
+           ~recipient:(eid_of tb r) ~msg:"fuzz")
+  | GetMail (i, s) -> begin
+      match
+        S.get_mail sm
+          ~caller:(S.Enclave_caller (eid_of tb i))
+          ~sender:(Sanctorum.Mailbox.From_enclave (eid_of tb s))
+      with
+      | Ok _ | Error _ -> ()
+    end
+
+(* I1/I2: monitor bookkeeping and hardware ownership agree, and the
+   monitor's memory belongs to the monitor. *)
+let ownership_invariant tb =
+  let sm = tb.Testbed.sm in
+  let pf = tb.Testbed.platform in
+  let units = S.memory_units sm in
+  let ub = S.memory_unit_bytes sm in
+  let ok = ref true in
+  for rid = 0 to units - 1 do
+    match S.resource_state sm R.Memory_resource ~rid with
+    | Error _ -> ok := false
+    | Ok st -> begin
+        let hw_owner = pf.Sanctorum_platform.Platform.owner_at ~paddr:(rid * ub) in
+        match st with
+        | R.Owned d ->
+            (* hardware must agree for owned units *)
+            if hw_owner <> d then ok := false
+        | R.Blocked d ->
+            (* blocked keeps the old hardware owner until cleaned *)
+            if hw_owner <> d then ok := false
+        | R.Available | R.Offered _ ->
+            (* cleaned (or not-yet-accepted) units are untrusted in hw *)
+            if hw_owner <> Hw.Trap.domain_untrusted then ok := false
+      end
+  done;
+  (* monitor memory *)
+  let sm_units = Sanctorum_platform.Platform.sm_memory_bytes / ub in
+  for rid = 0 to sm_units - 1 do
+    match S.resource_state sm R.Memory_resource ~rid with
+    | Ok (R.Owned d) when d = Hw.Trap.domain_sm -> ()
+    | Ok _ | Error _ -> ok := false
+  done;
+  !ok
+
+let fuzz_roundtrip backend =
+  QCheck2.Test.make
+    ~name:("fuzz: invariants hold under random API storms ("
+          ^ Testbed.backend_name backend ^ ")")
+    ~count:60
+    QCheck2.Gen.(list_size (int_range 1 80) op_gen)
+    (fun ops ->
+      let tb = Testbed.create ~backend () in
+      (* keep measurements of any enclave that reaches Initialized *)
+      let sealed : (int, string) Hashtbl.t = Hashtbl.create 4 in
+      List.iter
+        (fun op ->
+          apply tb op;
+          (* I3: once sealed, a measurement never changes *)
+          List.iter
+            (fun eid ->
+              match S.enclave_measurement tb.Testbed.sm ~eid with
+              | Ok m -> begin
+                  match Hashtbl.find_opt sealed eid with
+                  | None -> Hashtbl.replace sealed eid m
+                  | Some m0 -> if m <> m0 then failwith "measurement changed"
+                end
+              | Error _ -> Hashtbl.remove sealed eid)
+            (S.enclaves tb.Testbed.sm))
+        ops;
+      ownership_invariant tb)
+
+let suite =
+  ( "fuzz",
+    [
+      QCheck_alcotest.to_alcotest (fuzz_roundtrip Testbed.Sanctum_backend);
+      QCheck_alcotest.to_alcotest (fuzz_roundtrip Testbed.Keystone_backend);
+    ] )

@@ -1,0 +1,172 @@
+(* Fig. 5 conformance: mailboxes and local attestation (§VI-B). *)
+module Hw = Sanctorum_hw
+module S = Sanctorum.Sm
+module E = Sanctorum.Api_error
+module Mb = Sanctorum.Mailbox
+module Img = Sanctorum.Image
+open Sanctorum_os
+
+let check_bool = Alcotest.(check bool)
+let is_error = function Error _ -> true | Ok _ -> false
+
+(* -------------------- unit level (the state machine) ---------------- *)
+
+let test_unit_fig5 () =
+  let mb = Mb.create ~slots:2 in
+  let e1 = Mb.From_enclave 0x11000 in
+  (* deposit without accept *)
+  check_bool "deposit unaccepted" true
+    (is_error (Mb.deposit mb ~sender:e1 ~sender_measurement:"m" ~msg:"x"));
+  (* accept then deposit then retrieve *)
+  (match Mb.accept mb ~sender:e1 with Ok () -> () | Error _ -> Alcotest.fail "accept");
+  (match Mb.deposit mb ~sender:e1 ~sender_measurement:"meas1" ~msg:"hello" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "deposit: %s" (E.to_string e));
+  (* full mailbox rejects a second deposit *)
+  check_bool "deposit full" true
+    (is_error (Mb.deposit mb ~sender:e1 ~sender_measurement:"meas1" ~msg:"again"));
+  (match Mb.retrieve mb ~sender:e1 with
+  | Ok (msg, meas) ->
+      check_bool "padded message" true
+        (String.length msg = Mb.message_size
+        && String.sub msg 0 5 = "hello");
+      Alcotest.(check string) "measurement tag" "meas1" meas
+  | Error e -> Alcotest.failf "retrieve: %s" (E.to_string e));
+  (* slot returns to the unaccepted pool *)
+  check_bool "retrieve again" true (is_error (Mb.retrieve mb ~sender:e1));
+  check_bool "deposit after retrieve" true
+    (is_error (Mb.deposit mb ~sender:e1 ~sender_measurement:"m" ~msg:"x"))
+
+let test_unit_slots_exhaustion () =
+  let mb = Mb.create ~slots:2 in
+  (match Mb.accept mb ~sender:(Mb.From_enclave 1) with Ok () -> () | Error _ -> ());
+  (match Mb.accept mb ~sender:(Mb.From_enclave 2) with Ok () -> () | Error _ -> ());
+  (match Mb.accept mb ~sender:(Mb.From_enclave 3) with
+  | Error (E.Out_of_resources _) -> ()
+  | Ok () -> Alcotest.fail "third accept on two slots"
+  | Error e -> Alcotest.failf "unexpected: %s" (E.to_string e));
+  (* re-accepting an existing sender reuses (and resets) its slot *)
+  (match Mb.deposit mb ~sender:(Mb.From_enclave 1) ~sender_measurement:"m" ~msg:"x" with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "deposit");
+  (match Mb.accept mb ~sender:(Mb.From_enclave 1) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "re-accept");
+  check_bool "re-accept drops pending mail" true
+    (is_error (Mb.retrieve mb ~sender:(Mb.From_enclave 1)));
+  (* message too large *)
+  match
+    Mb.deposit mb ~sender:(Mb.From_enclave 1) ~sender_measurement:"m"
+      ~msg:(String.make (Mb.message_size + 1) 'x')
+  with
+  | Error (E.Illegal_argument _) -> ()
+  | Ok () -> Alcotest.fail "oversized message accepted"
+  | Error e -> Alcotest.failf "unexpected: %s" (E.to_string e)
+
+(* -------------------- monitor level (authenticated tags) ------------ *)
+
+let two_enclaves () =
+  let tb = Testbed.create () in
+  let mk evbase =
+    Img.of_program ~evbase Hw.Isa.[ Op_imm (Add, a7, zero, 1); Ecall ]
+  in
+  let i1 = Result.get_ok (Os.install_enclave tb.Testbed.os (mk 0x10000)) in
+  let i2 = Result.get_ok (Os.install_enclave tb.Testbed.os (mk 0x40000)) in
+  (tb, i1, i2)
+
+let test_sm_mail_measurement_tags () =
+  let tb, i1, i2 = two_enclaves () in
+  let sm = tb.Testbed.sm in
+  let e1 = i1.Os.eid and e2 = i2.Os.eid in
+  (* E2 readies a mailbox for E1; E1 sends; E2 reads the tag. *)
+  Result.get_ok
+    (S.accept_mail sm ~caller:(S.Enclave_caller e2) ~sender:(Mb.From_enclave e1));
+  Result.get_ok
+    (S.send_mail sm ~caller:(S.Enclave_caller e1) ~recipient:e2 ~msg:"probe");
+  (match S.get_mail sm ~caller:(S.Enclave_caller e2) ~sender:(Mb.From_enclave e1) with
+  | Ok (_, meas) ->
+      let m1 = Result.get_ok (S.enclave_measurement sm ~eid:e1) in
+      check_bool "tag is sender's true measurement" true (meas = m1)
+  | Error e -> Alcotest.failf "get_mail: %s" (E.to_string e));
+  (* the OS's tag is the all-zero untrusted measurement *)
+  Result.get_ok (S.accept_mail sm ~caller:(S.Enclave_caller e2) ~sender:Mb.From_os);
+  Result.get_ok (S.send_mail sm ~caller:S.Os ~recipient:e2 ~msg:"os mail");
+  (match S.get_mail sm ~caller:(S.Enclave_caller e2) ~sender:Mb.From_os with
+  | Ok (_, meas) ->
+      check_bool "os tag" true (meas = String.make 32 '\000')
+  | Error e -> Alcotest.failf "get os mail: %s" (E.to_string e))
+
+let test_sm_mail_spoof_resistance () =
+  let tb, i1, i2 = two_enclaves () in
+  let sm = tb.Testbed.sm in
+  let e1 = i1.Os.eid and e2 = i2.Os.eid in
+  (* E2 expects E1. The OS (or any other sender) cannot fill that slot. *)
+  Result.get_ok
+    (S.accept_mail sm ~caller:(S.Enclave_caller e2) ~sender:(Mb.From_enclave e1));
+  check_bool "OS cannot spoof" true
+    (is_error (S.send_mail sm ~caller:S.Os ~recipient:e2 ~msg:"fake"));
+  let i3 =
+    Result.get_ok
+      (Os.install_enclave tb.Testbed.os
+         (Img.of_program ~evbase:0x80000
+            Hw.Isa.[ Op_imm (Add, a7, zero, 1); Ecall ]))
+  in
+  check_bool "third enclave cannot spoof" true
+    (is_error
+       (S.send_mail sm ~caller:(S.Enclave_caller i3.Os.eid) ~recipient:e2
+          ~msg:"fake"));
+  (* and the true sender still can *)
+  match S.send_mail sm ~caller:(S.Enclave_caller e1) ~recipient:e2 ~msg:"real" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "true sender rejected: %s" (E.to_string e)
+
+let test_sm_mail_requires_initialized () =
+  let tb, i1, _ = two_enclaves () in
+  let sm = tb.Testbed.sm in
+  (* a loading enclave can neither send nor receive *)
+  let eid = Sanctorum_os.Os.alloc_metadata tb.Testbed.os `Enclave in
+  Result.get_ok
+    (S.create_enclave sm ~caller:S.Os ~eid ~evbase:0xa0000 ~evsize:4096 ());
+  check_bool "loading cannot accept" true
+    (is_error (S.accept_mail sm ~caller:(S.Enclave_caller eid) ~sender:Mb.From_os));
+  check_bool "loading cannot be sent to" true
+    (is_error (S.send_mail sm ~caller:S.Os ~recipient:eid ~msg:"x"));
+  check_bool "loading cannot send" true
+    (is_error
+       (S.send_mail sm ~caller:(S.Enclave_caller eid) ~recipient:i1.Os.eid
+          ~msg:"x"))
+
+let test_local_attestation_fig6 () =
+  let tb, i1, i2 = two_enclaves () in
+  let sm = tb.Testbed.sm in
+  let m1 = Result.get_ok (S.enclave_measurement sm ~eid:i1.Os.eid) in
+  (* E2 attests E1 against the correct expected measurement *)
+  (match
+     Sanctorum.Attestation.local_attest sm ~verifier:i2.Os.eid
+       ~prover:i1.Os.eid ~expected:m1
+   with
+  | Ok true -> ()
+  | Ok false -> Alcotest.fail "local attestation rejected honest prover"
+  | Error e -> Alcotest.failf "local attest: %s" (E.to_string e));
+  (* and rejects a wrong expectation *)
+  match
+    Sanctorum.Attestation.local_attest sm ~verifier:i2.Os.eid ~prover:i1.Os.eid
+      ~expected:(String.make 32 'x')
+  with
+  | Ok false -> ()
+  | Ok true -> Alcotest.fail "local attestation accepted wrong measurement"
+  | Error e -> Alcotest.failf "local attest: %s" (E.to_string e)
+
+let suite =
+  ( "mailbox-fig5",
+    [
+      Alcotest.test_case "state machine" `Quick test_unit_fig5;
+      Alcotest.test_case "slot exhaustion and reset" `Quick
+        test_unit_slots_exhaustion;
+      Alcotest.test_case "measurement tags" `Quick test_sm_mail_measurement_tags;
+      Alcotest.test_case "spoof resistance" `Quick test_sm_mail_spoof_resistance;
+      Alcotest.test_case "initialized-only" `Quick
+        test_sm_mail_requires_initialized;
+      Alcotest.test_case "local attestation (fig 6)" `Quick
+        test_local_attestation_fig6;
+    ] )

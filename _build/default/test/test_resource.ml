@@ -1,0 +1,164 @@
+(* Fig. 2 conformance: the generic resource state machine. *)
+module R = Sanctorum.Resource
+module E = Sanctorum.Api_error
+module Hw = Sanctorum_hw
+
+let untrusted = Hw.Trap.domain_untrusted
+let enclave_a = 2
+let enclave_b = 3
+let check_bool = Alcotest.(check bool)
+
+let is_error = function Error _ -> true | Ok _ -> false
+let fresh () = R.create ~cores:4 ~memory_units:8
+
+let test_initial_state () =
+  let t = fresh () in
+  Alcotest.(check int) "cores" 4 (R.count t R.Core_resource);
+  Alcotest.(check int) "memory" 8 (R.count t R.Memory_resource);
+  (match R.state t R.Memory_resource ~rid:0 with
+  | Ok (R.Owned d) -> Alcotest.(check int) "owner" untrusted d
+  | _ -> Alcotest.fail "bad initial state");
+  check_bool "out of range" true (is_error (R.state t R.Core_resource ~rid:4));
+  check_bool "negative" true (is_error (R.state t R.Core_resource ~rid:(-1)))
+
+(* The happy cycle: owned → blocked → available → offered → owned. *)
+let test_full_cycle () =
+  let t = fresh () in
+  let k = R.Memory_resource in
+  (match R.block t k ~rid:0 ~by:untrusted with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "block: %s" (E.to_string e));
+  (match R.clean t k ~rid:0 with
+  | Ok d -> Alcotest.(check int) "previous owner" untrusted d
+  | Error e -> Alcotest.failf "clean: %s" (E.to_string e));
+  (match R.grant t k ~rid:0 ~to_:enclave_a ~auto_accept:false with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "grant: %s" (E.to_string e));
+  (match R.state t k ~rid:0 with
+  | Ok (R.Offered d) -> Alcotest.(check int) "offered to" enclave_a d
+  | _ -> Alcotest.fail "expected offered");
+  (match R.accept t k ~rid:0 ~by:enclave_a with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "accept: %s" (E.to_string e));
+  match R.state t k ~rid:0 with
+  | Ok (R.Owned d) -> Alcotest.(check int) "owned by" enclave_a d
+  | _ -> Alcotest.fail "expected owned"
+
+let test_illegal_transitions () =
+  let t = fresh () in
+  let k = R.Memory_resource in
+  (* clean without block *)
+  check_bool "clean owned" true (is_error (R.clean t k ~rid:0));
+  (* grant without clean *)
+  check_bool "grant owned" true
+    (is_error (R.grant t k ~rid:0 ~to_:enclave_a ~auto_accept:false));
+  (* accept without offer *)
+  check_bool "accept owned" true (is_error (R.accept t k ~rid:0 ~by:enclave_a));
+  (* block by non-owner *)
+  check_bool "block foreign" true (is_error (R.block t k ~rid:0 ~by:enclave_a));
+  (* double block *)
+  (match R.block t k ~rid:0 ~by:untrusted with Ok () -> () | Error _ -> ());
+  check_bool "block blocked" true (is_error (R.block t k ~rid:0 ~by:untrusted));
+  (* block available *)
+  (match R.clean t k ~rid:0 with Ok _ -> () | Error _ -> ());
+  check_bool "block available" true (is_error (R.block t k ~rid:0 ~by:untrusted));
+  (* accept by the wrong domain *)
+  (match R.grant t k ~rid:0 ~to_:enclave_a ~auto_accept:false with
+  | Ok () -> ()
+  | Error _ -> ());
+  (match R.accept t k ~rid:0 ~by:enclave_b with
+  | Error E.Unauthorized -> ()
+  | Ok () -> Alcotest.fail "wrong domain accepted"
+  | Error e -> Alcotest.failf "unexpected: %s" (E.to_string e));
+  (* double clean *)
+  check_bool "clean offered" true (is_error (R.clean t k ~rid:0))
+
+let test_sm_can_block_on_behalf () =
+  (* Enclave deletion: the monitor blocks the dead enclave's resources,
+     while the OS cannot touch them itself. *)
+  let t = fresh () in
+  ignore (R.block t R.Memory_resource ~rid:0 ~by:untrusted);
+  ignore (R.clean t R.Memory_resource ~rid:0);
+  ignore (R.grant t R.Memory_resource ~rid:0 ~to_:enclave_a ~auto_accept:true);
+  (match R.block t R.Memory_resource ~rid:0 ~by:untrusted with
+  | Error E.Unauthorized -> ()
+  | Ok () -> Alcotest.fail "OS blocked an enclave-owned resource"
+  | Error e -> Alcotest.failf "unexpected: %s" (E.to_string e));
+  match R.block t R.Memory_resource ~rid:0 ~by:Hw.Trap.domain_sm with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "SM block failed: %s" (E.to_string e)
+
+let test_units_owned_by () =
+  let t = fresh () in
+  Alcotest.(check (list int))
+    "all untrusted"
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    (R.units_owned_by t R.Memory_resource untrusted);
+  ignore (R.block t R.Memory_resource ~rid:3 ~by:untrusted);
+  Alcotest.(check (list int))
+    "blocked excluded"
+    [ 0; 1; 2; 4; 5; 6; 7 ]
+    (R.units_owned_by t R.Memory_resource untrusted)
+
+(* qcheck: random action sequences never reach a state outside the
+   Fig. 2 machine, and every accepted transition is a Fig. 2 edge. *)
+type action = Block of int | Clean of int | Grant of int * int | Accept of int * int
+
+let action_gen =
+  let open QCheck2.Gen in
+  let rid = int_range 0 7 in
+  let dom = int_range 1 4 in
+  oneof
+    [
+      map (fun r -> Block r) rid;
+      map (fun r -> Clean r) rid;
+      map2 (fun r d -> Grant (r, d)) rid dom;
+      map2 (fun r d -> Accept (r, d)) rid dom;
+    ]
+
+let qcheck_fig2 =
+  QCheck2.Test.make ~name:"fig2: accepted transitions follow the edges"
+    ~count:300
+    QCheck2.Gen.(list_size (int_range 0 60) action_gen)
+    (fun actions ->
+      let t = fresh () in
+      let k = R.Memory_resource in
+      List.for_all
+        (fun action ->
+          let before = Result.get_ok (R.state t k ~rid:(match action with
+            | Block r | Clean r | Grant (r, _) | Accept (r, _) -> r)) in
+          let result =
+            match action with
+            | Block r -> (R.block t k ~rid:r ~by:untrusted :> unit E.result)
+            | Clean r -> Result.map (fun _ -> ()) (R.clean t k ~rid:r)
+            | Grant (r, d) -> R.grant t k ~rid:r ~to_:d ~auto_accept:false
+            | Accept (r, d) -> R.accept t k ~rid:r ~by:d
+          in
+          let after = Result.get_ok (R.state t k ~rid:(match action with
+            | Block r | Clean r | Grant (r, _) | Accept (r, _) -> r)) in
+          match result with
+          | Error _ -> after = before (* failed calls change nothing *)
+          | Ok () -> begin
+              (* the transition taken must be a legal edge *)
+              match (action, before, after) with
+              | Block _, R.Owned d, R.Blocked d' -> d = d' && d = untrusted
+              | Clean _, R.Blocked _, R.Available -> true
+              | Grant (_, d), R.Available, R.Offered d' -> d = d'
+              | Grant (_, d), R.Available, R.Owned d' -> d = d' && d = untrusted
+              | Accept (_, d), R.Offered d', R.Owned d'' -> d = d' && d = d''
+              | _ -> false
+            end)
+        actions)
+
+let suite =
+  ( "resource-fig2",
+    [
+      Alcotest.test_case "initial state" `Quick test_initial_state;
+      Alcotest.test_case "full life cycle" `Quick test_full_cycle;
+      Alcotest.test_case "illegal transitions rejected" `Quick
+        test_illegal_transitions;
+      Alcotest.test_case "monitor blocks on enclave's behalf" `Quick
+        test_sm_can_block_on_behalf;
+      Alcotest.test_case "ownership listing" `Quick test_units_owned_by;
+      QCheck_alcotest.to_alcotest qcheck_fig2;
+    ] )

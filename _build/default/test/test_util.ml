@@ -1,0 +1,55 @@
+module Util = Sanctorum_util
+
+let check = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_hex_roundtrip () =
+  check "encode" "00ff10" (Util.Hex.encode "\x00\xff\x10");
+  check "decode" "\x00\xff\x10" (Util.Hex.decode "00ff10");
+  check "decode upper" "\xab\xcd" (Util.Hex.decode "ABCD");
+  Alcotest.check_raises "odd length" (Invalid_argument "Hex.decode: odd length")
+    (fun () -> ignore (Util.Hex.decode "abc"));
+  Alcotest.check_raises "bad char"
+    (Invalid_argument "Hex.decode: non-hex character") (fun () ->
+      ignore (Util.Hex.decode "zz"))
+
+let test_bits () =
+  check_bool "pow2 1" true (Util.Bits.is_power_of_two 1);
+  check_bool "pow2 4096" true (Util.Bits.is_power_of_two 4096);
+  check_bool "pow2 12" false (Util.Bits.is_power_of_two 12);
+  check_bool "pow2 0" false (Util.Bits.is_power_of_two 0);
+  check_int "log2" 12 (Util.Bits.log2 4096);
+  check_int "align_up" 8192 (Util.Bits.align_up 4097 4096);
+  check_int "align_up exact" 4096 (Util.Bits.align_up 4096 4096);
+  check_int "align_down" 4096 (Util.Bits.align_down 8191 4096);
+  check_int "extract" 0b101 (Util.Bits.extract 0b10100 ~lo:2 ~width:3);
+  check_int "sign_extend neg" (-1) (Util.Bits.sign_extend 0xfff ~width:12);
+  check_int "sign_extend pos" 2047 (Util.Bits.sign_extend 0x7ff ~width:12);
+  Alcotest.(check int64)
+    "rotl64" 0x8000000000000000L
+    (Util.Bits.rotl64 1L 63);
+  Alcotest.(check int64) "rotl64 id" 0x123456789abcdef0L
+    (Util.Bits.rotl64 0x123456789abcdef0L 0)
+
+let test_bytesx () =
+  check "xor" "\x03\x01" (Util.Bytesx.xor "\x01\x02" "\x02\x03");
+  check_bool "cte eq" true (Util.Bytesx.constant_time_equal "abc" "abc");
+  check_bool "cte neq" false (Util.Bytesx.constant_time_equal "abc" "abd");
+  check_bool "cte len" false (Util.Bytesx.constant_time_equal "abc" "abcd");
+  Alcotest.(check int64)
+    "u64 roundtrip" 0x1122334455667788L
+    (Util.Bytesx.get_u64_le (Util.Bytesx.of_int64_le 0x1122334455667788L) 0)
+
+let qcheck_hex_roundtrip =
+  QCheck2.Test.make ~name:"hex roundtrip" ~count:200 QCheck2.Gen.string
+    (fun s -> Util.Hex.decode (Util.Hex.encode s) = s)
+
+let suite =
+  ( "util",
+    [
+      Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+      Alcotest.test_case "bit helpers" `Quick test_bits;
+      Alcotest.test_case "byte helpers" `Quick test_bytesx;
+      QCheck_alcotest.to_alcotest qcheck_hex_roundtrip;
+    ] )
