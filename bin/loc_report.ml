@@ -34,9 +34,15 @@ let count_dir dir =
 
 let () =
   let root =
-    (* Run from the repo root or from _build; find lib/ upward. *)
+    (* Run from the repo root or from _build; find lib/ upward. A dune
+       build tree has its own lib/ copies, so never settle inside
+       _build — counts must come from the checked-in sources. *)
+    let under_build d =
+      List.exists (( = ) "_build") (String.split_on_char '/' d)
+    in
     let rec find d =
-      if Sys.file_exists (Filename.concat d "lib/core") then d
+      if (not (under_build d)) && Sys.file_exists (Filename.concat d "lib/core")
+      then d
       else begin
         let parent = Filename.dirname d in
         if parent = d then failwith "cannot locate repo root" else find parent
@@ -52,7 +58,8 @@ let () =
   let util = dir "lib/util" in
   let os = dir "lib/os" in
   let attack = dir "lib/attack" in
-  let total = core + crypto + hw + platform + util + os + attack in
+  let telemetry = dir "lib/telemetry" in
+  let total = core + crypto + hw + platform + util + os + attack + telemetry in
   Printf.printf "T1: trusted code base size (cf. paper §VII-A)\n";
   Printf.printf "%-34s %8s %14s\n" "component" "LOC" "paper analogue";
   let row name loc paper = Printf.printf "%-34s %8d %14s\n" name loc paper in
@@ -63,6 +70,7 @@ let () =
   row "util (lib/util)" util "(libc equiv)";
   row "untrusted OS model (lib/os)" os "(untrusted)";
   row "adversary models (lib/attack)" attack "(untrusted)";
+  row "telemetry (lib/telemetry)" telemetry "(tooling)";
   Printf.printf "%-34s %8d %14s\n" "total" total "5785";
   Printf.printf
     "\nTCB in this model = monitor core + crypto + platform glue = %d LOC\n"

@@ -5,10 +5,65 @@
      sanctorum_demo attest   [--backend ...]
      sanctorum_demo probe    [--backend ...]
      sanctorum_demo leak     [--backend ...] [--secret S]
+
+   Every command also takes the telemetry flags
+   [--trace out.json] [--trace-jsonl out.jsonl] [--metrics] [--audit];
+   with no subcommand, [run] is implied, so
+   [sanctorum_demo --trace t.json] traces the counting-enclave demo.
 *)
 module Hw = Sanctorum_hw
 module S = Sanctorum.Sm
+module Tel = Sanctorum_telemetry
 open Sanctorum_os
+
+type tel_opts = {
+  trace : string option;  (* Chrome trace_event JSON *)
+  trace_jsonl : string option;
+  metrics : bool;
+  audit : bool;
+}
+
+let write_file file contents =
+  match open_out file with
+  | oc ->
+      output_string oc contents;
+      close_out oc
+  | exception Sys_error msg ->
+      Printf.eprintf "sanctorum_demo: cannot write trace: %s\n" msg;
+      exit 1
+
+(* Run [f] with an optional sink; afterwards write/print whatever the
+   flags asked for. *)
+let with_telemetry opts f =
+  let off =
+    opts.trace = None && opts.trace_jsonl = None
+    && (not opts.metrics) && not opts.audit
+  in
+  if off then f None
+  else begin
+    let metrics = Tel.Metrics.create () in
+    let sink = Tel.Sink.create ~metrics () in
+    f (Some sink);
+    let events = Tel.Sink.events sink in
+    (match opts.trace with
+    | Some file ->
+        write_file file (Tel.Export.chrome_trace ~metrics events);
+        Printf.printf "trace: %d events -> %s (chrome://tracing / Perfetto)\n"
+          (List.length events) file
+    | None -> ());
+    (match opts.trace_jsonl with
+    | Some file ->
+        write_file file (Tel.Export.jsonl events);
+        Printf.printf "trace: %d events -> %s (JSON lines)\n"
+          (List.length events) file
+    | None -> ());
+    if Tel.Sink.dropped sink > 0 then
+      Printf.printf "trace: ring overflowed; oldest %d events dropped\n"
+        (Tel.Sink.dropped sink);
+    if opts.metrics then Tel.Export.summary ~events Format.std_formatter metrics;
+    if opts.audit then
+      Format.printf "%a" Tel.Audit.pp (Tel.Audit.of_events events)
+  end
 
 let hex8 s = Sanctorum_util.Hex.encode (String.sub s 0 8)
 
@@ -25,8 +80,9 @@ let backend_arg =
 
 let exit_prog = Hw.Isa.[ Op_imm (Add, a7, zero, S.Ecall.exit_enclave); Ecall ]
 
-let cmd_boot backend =
-  let tb = Testbed.create ~backend () in
+let cmd_boot tel backend =
+  with_telemetry tel @@ fun sink ->
+  let tb = Testbed.create ~backend ?sink () in
   let sm = tb.Testbed.sm in
   Printf.printf "platform        : %s\n" tb.Testbed.platform.Sanctorum_platform.Platform.name;
   Printf.printf "cores           : %d\n" (Hw.Machine.core_count tb.Testbed.machine);
@@ -43,8 +99,9 @@ let cmd_boot backend =
   Printf.printf "certificates    : %d bytes\n"
     (String.length (S.get_field sm S.Field_certificates))
 
-let cmd_run backend count quantum =
-  let tb = Testbed.create ~backend () in
+let cmd_run tel backend count quantum =
+  with_telemetry tel @@ fun sink ->
+  let tb = Testbed.create ~backend ?sink () in
   let evbase = 0x10000 in
   let counter = evbase + 4096 in
   let body =
@@ -87,8 +144,9 @@ let cmd_run backend count quantum =
         (!entries - 1)
         (Hw.Phys_mem.read_u64 (Hw.Machine.mem tb.Testbed.machine) data)
 
-let cmd_attest backend =
-  let tb = Testbed.create ~backend () in
+let cmd_attest tel backend =
+  with_telemetry tel @@ fun sink ->
+  let tb = Testbed.create ~backend ?sink () in
   match Testbed.install_signing_enclave tb with
   | Error e -> Printf.printf "signing enclave: %s\n" (Sanctorum.Api_error.to_string e)
   | Ok es ->
@@ -108,8 +166,9 @@ let cmd_attest backend =
             (session.Sanctorum.Attestation.session_key_verifier
             = session.Sanctorum.Attestation.session_key_enclave))
 
-let cmd_probe backend =
-  let tb = Testbed.create ~backend () in
+let cmd_probe tel backend =
+  with_telemetry tel @@ fun sink ->
+  let tb = Testbed.create ~backend ?sink () in
   let image = Sanctorum.Image.of_program ~evbase:0x10000 exit_prog in
   match Os.install_enclave tb.Testbed.os image with
   | Error e -> Printf.printf "install: %s\n" (Sanctorum.Api_error.to_string e)
@@ -146,9 +205,11 @@ let cmd_probe backend =
         | `Denied -> `Denied
         | `Stored -> `Allowed)
 
-let cmd_leak backend secret =
+let cmd_leak tel backend secret =
+  with_telemetry tel @@ fun sink ->
   let tb =
-    Testbed.create ~backend ~l2:Sanctorum_attack.Cache_probe.recommended_l2 ()
+    Testbed.create ~backend ~l2:Sanctorum_attack.Cache_probe.recommended_l2
+      ?sink ()
   in
   match Sanctorum_attack.Cache_probe.run tb ~secret () with
   | Error m -> Printf.printf "error: %s\n" m
@@ -161,39 +222,78 @@ let cmd_leak backend secret =
 
 open Cmdliner
 
+let tel_term =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a full event trace and write it to $(docv) in Chrome \
+             trace_event format (open in chrome://tracing or Perfetto).")
+  in
+  let trace_jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-jsonl" ] ~docv:"FILE"
+          ~doc:"Write the event trace to $(docv) as JSON lines.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Print the metrics summary (cache/TLB hit rates, per-API call \
+             counts, latency histogram) after the command.")
+  in
+  let audit =
+    Arg.(
+      value & flag
+      & info [ "audit" ]
+          ~doc:"Print the SM audit log: every API decision, accepted or \
+                rejected.")
+  in
+  let mk trace trace_jsonl metrics audit = { trace; trace_jsonl; metrics; audit } in
+  Term.(const mk $ trace $ trace_jsonl $ metrics $ audit)
+
 let boot_cmd =
   Cmd.v (Cmd.info "boot" ~doc:"Boot the stack and print the monitor's identity.")
-    Term.(const cmd_boot $ backend_arg)
+    Term.(const cmd_boot $ tel_term $ backend_arg)
 
-let run_cmd =
+let run_term =
   let count =
     Arg.(value & opt int 5000 & info [ "count"; "n" ] ~doc:"Loop iterations.")
   in
   let quantum =
     Arg.(value & opt int 2000 & info [ "quantum"; "q" ] ~doc:"Preemption quantum (cycles).")
   in
+  Term.(const cmd_run $ tel_term $ backend_arg $ count $ quantum)
+
+let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a preemptible counting enclave to completion.")
-    Term.(const cmd_run $ backend_arg $ count $ quantum)
+    run_term
 
 let attest_cmd =
   Cmd.v (Cmd.info "attest" ~doc:"Full remote attestation (paper Fig. 7).")
-    Term.(const cmd_attest $ backend_arg)
+    Term.(const cmd_attest $ tel_term $ backend_arg)
 
 let probe_cmd =
   Cmd.v (Cmd.info "probe" ~doc:"Malicious-OS probes against enclave memory.")
-    Term.(const cmd_probe $ backend_arg)
+    Term.(const cmd_probe $ tel_term $ backend_arg)
 
 let leak_cmd =
   let secret =
     Arg.(value & opt int 5 & info [ "secret"; "s" ] ~doc:"Victim secret, 0-7.")
   in
   Cmd.v (Cmd.info "leak" ~doc:"Prime+probe cache attack against a victim enclave.")
-    Term.(const cmd_leak $ backend_arg $ secret)
+    Term.(const cmd_leak $ tel_term $ backend_arg $ secret)
 
 let () =
   let doc = "drive the Sanctorum security-monitor reproduction" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "sanctorum_demo" ~doc)
+       (Cmd.group ~default:run_term
+          (Cmd.info "sanctorum_demo" ~doc)
           [ boot_cmd; run_cmd; attest_cmd; probe_cmd; leak_cmd ]))

@@ -5,13 +5,18 @@ type slot_state =
   | Empty of sender  (** accepted, waiting for this sender *)
   | Full of sender * string * string  (** sender, measurement, message *)
 
-type t = { slots : slot_state array }
+type t = {
+  slots : slot_state array;
+  mutable deposited : int;
+  mutable retrieved : int;
+  mutable rejected : int;
+}
 
 let message_size = 256
 
 let create ~slots =
   if slots <= 0 then invalid_arg "Mailbox.create: slots must be positive";
-  { slots = Array.make slots Unaccepted }
+  { slots = Array.make slots Unaccepted; deposited = 0; retrieved = 0; rejected = 0 }
 
 let slots t = Array.length t.slots
 
@@ -52,18 +57,25 @@ let accept t ~sender =
     end
 
 let deposit t ~sender ~sender_measurement ~msg =
-  if String.length msg > message_size then
+  if String.length msg > message_size then begin
+    t.rejected <- t.rejected + 1;
     Error (Api_error.Illegal_argument "message too large")
+  end
   else begin
     let msg = msg ^ String.make (message_size - String.length msg) '\000' in
     match find_slot t ~sender with
-    | None -> Error (Api_error.Invalid_state "recipient has not accepted this sender")
+    | None ->
+        t.rejected <- t.rejected + 1;
+        Error (Api_error.Invalid_state "recipient has not accepted this sender")
     | Some i -> begin
         match t.slots.(i) with
         | Empty _ ->
             t.slots.(i) <- Full (sender, sender_measurement, msg);
+            t.deposited <- t.deposited + 1;
             Ok ()
-        | Full _ -> Error (Api_error.Invalid_state "mailbox is full")
+        | Full _ ->
+            t.rejected <- t.rejected + 1;
+            Error (Api_error.Invalid_state "mailbox is full")
         | Unaccepted -> assert false
       end
   end
@@ -75,12 +87,15 @@ let retrieve t ~sender =
       match t.slots.(i) with
       | Full (_, meas, msg) ->
           t.slots.(i) <- Unaccepted;
+          t.retrieved <- t.retrieved + 1;
           Ok (msg, meas)
       | Empty _ -> Error (Api_error.Invalid_state "mailbox is empty")
       | Unaccepted -> assert false
     end
 
 let wipe t = Array.fill t.slots 0 (Array.length t.slots) Unaccepted
+
+let stats t = (t.deposited, t.retrieved, t.rejected)
 
 let pp_sender ppf = function
   | From_os -> Format.pp_print_string ppf "OS"

@@ -36,5 +36,10 @@ val retrieve : t -> sender:sender -> (string * string) Api_error.result
 val wipe : t -> unit
 (** Drop all state (enclave deletion). *)
 
+val stats : t -> int * int * int
+(** [(deposited, retrieved, rejected)] operation counts since
+    creation. [rejected] counts failed deposits (unaccepted sender,
+    full slot, oversized message). *)
+
 val equal_sender : sender -> sender -> bool
 val pp_sender : Format.formatter -> sender -> unit

@@ -1,6 +1,7 @@
 module Hw = Sanctorum_hw
 module Pf = Sanctorum_platform
 module Crypto = Sanctorum_crypto
+module Tel = Sanctorum_telemetry
 
 type caller = Os | Enclave_caller of int
 type resource_target = To_os | To_enclave of int
@@ -60,6 +61,7 @@ type t = {
   mutable next_domain : Hw.Trap.domain;
   mutable os_handler : Hw.Machine.core -> Hw.Trap.cause -> unit;
   mutable resource_lock : bool;
+  mutable sink : Tel.Sink.t;
 }
 
 let binary_image =
@@ -150,6 +152,42 @@ let require_enclave t = function
 
 let enclaves t =
   Hashtbl.fold (fun eid _ acc -> eid :: acc) t.enclaves [] |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry. API events carry cycle timestamps from the machine
+   (host-context actions run natively, so [core] is -1 unless a
+   specific core is known). With the default null sink [traced] is one
+   boolean test around the wrapped call. *)
+
+let caller_label = function
+  | Os -> "os"
+  | Enclave_caller eid -> Printf.sprintf "enclave:0x%x" eid
+
+let sm_now t = Hw.Machine.now t.machine
+
+let emit t ?(core = -1) payload =
+  Tel.Sink.emit t.sink ~core ~cycles:(sm_now t) payload
+
+let traced t ~caller api f =
+  if not (Tel.Sink.enabled t.sink) then f ()
+  else begin
+    let t0 = sm_now t in
+    let result = f () in
+    let t1 = sm_now t in
+    let latency = t1 - t0 in
+    Tel.Sink.incr_counter t.sink ("sm.api.calls." ^ api);
+    let outcome =
+      match result with
+      | Ok _ -> Tel.Event.Accepted
+      | Error e ->
+          Tel.Sink.incr_counter t.sink ("sm.api.rejected." ^ api);
+          Tel.Event.Rejected (Api_error.to_string e)
+    in
+    Tel.Sink.observe t.sink "sm.api.latency" latency;
+    Tel.Sink.emit t.sink ~core:(-1) ~cycles:t1
+      (Tel.Event.Sm_api { api; caller = caller_label caller; outcome; latency });
+    result
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Generic resources (Fig. 2) *)
@@ -774,6 +812,12 @@ let perform_aex t c th =
   dump.(32) <- c.Hw.Machine.pc;
   th.aex_state <- Some dump;
   th.phase <- T_assigned;
+  (if Tel.Sink.enabled t.sink then
+     match th.t_owner with
+     | Some eid ->
+         Tel.Sink.incr_counter t.sink "sm.aex";
+         emit t ~core:c.Hw.Machine.id (Tel.Event.Enclave_exited { eid; aex = true })
+     | None -> ());
   scrub_core t c
 
 (* ------------------------------------------------------------------ *)
@@ -840,6 +884,143 @@ let get_signing_key t ~caller =
     ->
       Ok t.identity.Boot.attestation_key
   | Some _ | None -> Error Api_error.Unauthorized
+
+(* ------------------------------------------------------------------ *)
+(* Tracing shadows. Each public entry point is re-bound to a traced
+   version of itself — the non-recursive [let]s refer to the original
+   definitions above — so every call, including those arriving through
+   the ecall funnel below, lands in the audit log. Lifecycle events are
+   emitted here on success, keeping the decision logic above clean. *)
+
+let resource_kind_label = function
+  | Resource.Core_resource -> "core"
+  | Resource.Memory_resource -> "memory"
+
+let target_label = function
+  | To_os -> "os"
+  | To_enclave eid -> Printf.sprintf "enclave:0x%x" eid
+
+let on_ok r f = (match r with Ok _ -> f () | Error _ -> ()); r
+
+let block_resource t ~caller kind ~rid =
+  traced t ~caller "block_resource" (fun () -> block_resource t ~caller kind ~rid)
+
+let clean_resource t ~caller kind ~rid =
+  on_ok
+    (traced t ~caller "clean_resource" (fun () ->
+         clean_resource t ~caller kind ~rid))
+    (fun () ->
+      emit t (Tel.Event.Region_freed { kind = resource_kind_label kind; rid }))
+
+let grant_resource t ~caller kind ~rid ~to_ =
+  on_ok
+    (traced t ~caller "grant_resource" (fun () ->
+         grant_resource t ~caller kind ~rid ~to_))
+    (fun () ->
+      emit t
+        (Tel.Event.Region_granted
+           { kind = resource_kind_label kind; rid; owner = target_label to_ }))
+
+let accept_resource t ~caller kind ~rid =
+  traced t ~caller "accept_resource" (fun () ->
+      accept_resource t ~caller kind ~rid)
+
+let create_enclave t ~caller ~eid ~evbase ~evsize ?mailbox_slots () =
+  on_ok
+    (traced t ~caller "create_enclave" (fun () ->
+         create_enclave t ~caller ~eid ~evbase ~evsize ?mailbox_slots ()))
+    (fun () -> emit t (Tel.Event.Enclave_created { eid }))
+
+let allocate_page_table t ~caller ~eid ~vaddr ~level =
+  traced t ~caller "allocate_page_table" (fun () ->
+      allocate_page_table t ~caller ~eid ~vaddr ~level)
+
+let load_page t ~caller ~eid ~vaddr ~src_paddr ~r ~w ~x =
+  traced t ~caller "load_page" (fun () ->
+      load_page t ~caller ~eid ~vaddr ~src_paddr ~r ~w ~x)
+
+let map_shared t ~caller ~eid ~vaddr ~src_paddr ~len =
+  traced t ~caller "map_shared" (fun () ->
+      map_shared t ~caller ~eid ~vaddr ~src_paddr ~len)
+
+let load_thread t ~caller ~eid ~tid ~entry_pc ~entry_sp =
+  traced t ~caller "load_thread" (fun () ->
+      load_thread t ~caller ~eid ~tid ~entry_pc ~entry_sp)
+
+let init_enclave t ~caller ~eid =
+  traced t ~caller "init_enclave" (fun () -> init_enclave t ~caller ~eid)
+
+let delete_enclave t ~caller ~eid =
+  on_ok
+    (traced t ~caller "delete_enclave" (fun () -> delete_enclave t ~caller ~eid))
+    (fun () -> emit t (Tel.Event.Enclave_destroyed { eid }))
+
+let assign_thread t ~caller ~eid ~tid =
+  traced t ~caller "assign_thread" (fun () -> assign_thread t ~caller ~eid ~tid)
+
+let accept_thread t ~caller ~tid ?entry_pc ?entry_sp () =
+  traced t ~caller "accept_thread" (fun () ->
+      accept_thread t ~caller ~tid ?entry_pc ?entry_sp ())
+
+let release_thread t ~caller ~tid =
+  traced t ~caller "release_thread" (fun () -> release_thread t ~caller ~tid)
+
+let unassign_thread t ~caller ~tid =
+  traced t ~caller "unassign_thread" (fun () -> unassign_thread t ~caller ~tid)
+
+let delete_thread t ~caller ~tid =
+  traced t ~caller "delete_thread" (fun () -> delete_thread t ~caller ~tid)
+
+let enter_enclave t ~caller ~eid ~tid ~core =
+  on_ok
+    (traced t ~caller "enter_enclave" (fun () ->
+         enter_enclave t ~caller ~eid ~tid ~core))
+    (fun () ->
+      emit t ~core (Tel.Event.Enclave_entered { eid; tid; target_core = core }))
+
+let exit_enclave t ~caller ~core =
+  on_ok
+    (traced t ~caller "exit_enclave" (fun () -> exit_enclave t ~caller ~core))
+    (fun () ->
+      match caller with
+      | Enclave_caller eid ->
+          emit t ~core (Tel.Event.Enclave_exited { eid; aex = false })
+      | Os -> ())
+
+let set_fault_handler t ~caller ~handler =
+  traced t ~caller "set_fault_handler" (fun () ->
+      set_fault_handler t ~caller ~handler)
+
+let read_aex_state t ~caller ~tid =
+  traced t ~caller "read_aex_state" (fun () -> read_aex_state t ~caller ~tid)
+
+let accept_mail t ~caller ~sender =
+  traced t ~caller "accept_mail" (fun () -> accept_mail t ~caller ~sender)
+
+let send_mail t ~caller ~recipient ~msg =
+  on_ok
+    (traced t ~caller "send_mail" (fun () ->
+         send_mail t ~caller ~recipient ~msg))
+    (fun () ->
+      emit t
+        (Tel.Event.Mailbox_sent { sender = caller_label caller; recipient }))
+
+let get_mail t ~caller ~sender =
+  on_ok
+    (traced t ~caller "get_mail" (fun () -> get_mail t ~caller ~sender))
+    (fun () ->
+      match caller with
+      | Enclave_caller recipient ->
+          let sender =
+            match sender with
+            | Mailbox.From_os -> "os"
+            | Mailbox.From_enclave eid -> Printf.sprintf "enclave:0x%x" eid
+          in
+          emit t (Tel.Event.Mailbox_received { recipient; sender })
+      | Os -> ())
+
+let get_signing_key t ~caller =
+  traced t ~caller "get_signing_key" (fun () -> get_signing_key t ~caller)
 
 (* ------------------------------------------------------------------ *)
 (* The ecall ABI *)
@@ -1073,7 +1254,18 @@ let boot ~platform:pf ~identity ~signing_enclave_measurement =
             core.Hw.Machine.id Hw.Trap.pp_cause cause;
           core.Hw.Machine.halted <- true);
       resource_lock = false;
+      sink = Tel.Sink.null;
     }
   in
   Hw.Machine.set_trap_handler machine (fun m c cause -> on_trap t m c cause);
   t
+
+let set_sink t sink =
+  t.sink <- sink;
+  Hw.Machine.set_sink t.machine sink
+
+let sink t = t.sink
+
+let mailbox_stats t ~eid =
+  let* e = find_enclave t eid in
+  Ok (Mailbox.stats e.mailboxes)

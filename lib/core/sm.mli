@@ -52,6 +52,23 @@ val set_os_trap_handler :
 (** Where the monitor delegates events that belong to the OS (Fig. 1);
     always called {e after} any required AEX has cleaned the core. *)
 
+(** {2 Telemetry} *)
+
+val set_sink : t -> Sanctorum_telemetry.Sink.t -> unit
+(** Attach a telemetry sink to the monitor {e and} its machine. Every
+    API entry point then emits one [Sm_api] event per call — accepted
+    or rejected with the rendered error — plus per-API call/reject
+    counters ([sm.api.*]) and an [sm.api.latency] histogram; enclave
+    lifecycle transitions, region grants/frees and mailbox traffic
+    become events of their own. The default sink is
+    {!Sanctorum_telemetry.Sink.null}, under which every
+    instrumentation site is a single boolean test. *)
+
+val sink : t -> Sanctorum_telemetry.Sink.t
+
+val mailbox_stats : t -> eid:int -> (int * int * int) Api_error.result
+(** [(deposited, retrieved, rejected)] for the enclave's mailbox set. *)
+
 (** {2 Generic resources (Fig. 2)} *)
 
 val memory_units : t -> int

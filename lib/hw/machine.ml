@@ -1,3 +1,5 @@
+module Tel = Sanctorum_telemetry
+
 type core = {
   id : int;
   regs : int64 array;
@@ -23,6 +25,19 @@ type config = {
   pte_fetch_cycles : int;
 }
 
+(* Counter handles resolved once at [set_sink] time so the hot paths
+   never do a by-name registry lookup. *)
+type hw_counters = {
+  c_l1_hits : Tel.Metrics.counter;
+  c_l1_misses : Tel.Metrics.counter;
+  c_l2_hits : Tel.Metrics.counter;
+  c_l2_misses : Tel.Metrics.counter;
+  c_tlb_hits : Tel.Metrics.counter;
+  c_tlb_misses : Tel.Metrics.counter;
+  c_ptw_steps : Tel.Metrics.counter;
+  c_instret : Tel.Metrics.counter;
+}
+
 type t = {
   mem : Phys_mem.t;
   cores : core array;
@@ -32,6 +47,8 @@ type t = {
   mutable pte_fetch_check : core:core -> paddr:int -> bool;
   mutable dma_check : paddr:int -> len:int -> bool;
   mutable trap_handler : t -> core -> Trap.cause -> unit;
+  mutable sink : Tel.Sink.t;
+  mutable ctrs : hw_counters option;
 }
 
 exception Fault of Trap.exception_cause
@@ -77,7 +94,32 @@ let create cfg =
         Format.eprintf "machine: unhandled trap on core %d: %a@." core.id
           Trap.pp_cause cause;
         core.halted <- true);
+    sink = Tel.Sink.null;
+    ctrs = None;
   }
+
+let set_sink t sink =
+  t.sink <- sink;
+  t.ctrs <-
+    (match Tel.Sink.metrics sink with
+    | None -> None
+    | Some m ->
+        let c = Tel.Metrics.counter m in
+        Some
+          {
+            c_l1_hits = c "hw.cache.l1.hits";
+            c_l1_misses = c "hw.cache.l1.misses";
+            c_l2_hits = c "hw.cache.l2.hits";
+            c_l2_misses = c "hw.cache.l2.misses";
+            c_tlb_hits = c "hw.tlb.hits";
+            c_tlb_misses = c "hw.tlb.misses";
+            c_ptw_steps = c "hw.ptw.steps";
+            c_instret = c "hw.instret";
+          })
+
+let sink t = t.sink
+
+let now t = Array.fold_left (fun m c -> max m c.cycles) 0 t.cores
 
 let mem t = t.mem
 let l2 t = t.l2
@@ -119,13 +161,23 @@ let translate_exn t core ~access ~vaddr =
         let vpn = va lsr 12 in
         let ppn, perms =
           match Tlb.lookup core.tlb ~vpn with
-          | Some hit -> hit
+          | Some hit ->
+              (match t.ctrs with
+              | Some c -> Tel.Metrics.incr c.c_tlb_hits
+              | None -> ());
+              hit
           | None -> begin
+              (match t.ctrs with
+              | Some c -> Tel.Metrics.incr c.c_tlb_misses
+              | None -> ());
               let pte_fetch_ok paddr = t.pte_fetch_check ~core ~paddr in
               let steps =
                 Page_table.walk_cost_levels t.mem ~root_ppn:root ~vaddr:va
                   ~pte_fetch_ok
               in
+              (match t.ctrs with
+              | Some c -> Tel.Metrics.add c.c_ptw_steps steps
+              | None -> ());
               core.cycles <- core.cycles + (steps * t.cfg.pte_fetch_cycles);
               match Page_table.walk t.mem ~root_ppn:root ~vaddr:va ~pte_fetch_ok with
               | Error Page_table.Invalid_mapping ->
@@ -162,9 +214,19 @@ let cached_access t core ~access ~vaddr ~size =
   let paddr = translate_exn t core ~access ~vaddr in
   let l1_hit, l1_cycles = Cache.access core.l1 ~paddr in
   let cost =
-    if l1_hit then l1_cycles
+    if l1_hit then begin
+      (match t.ctrs with
+      | Some c -> Tel.Metrics.incr c.c_l1_hits
+      | None -> ());
+      l1_cycles
+    end
     else begin
-      let _, l2_cycles = Cache.access t.l2 ~paddr in
+      let l2_hit, l2_cycles = Cache.access t.l2 ~paddr in
+      (match t.ctrs with
+      | Some c ->
+          Tel.Metrics.incr c.c_l1_misses;
+          Tel.Metrics.incr (if l2_hit then c.c_l2_hits else c.c_l2_misses)
+      | None -> ());
       l1_cycles + l2_cycles
     end
   in
@@ -226,7 +288,17 @@ let branch_taken op a b =
   | Bltu -> Int64.unsigned_compare a b < 0
   | Bgeu -> Int64.unsigned_compare a b >= 0
 
-let deliver_trap t core cause = t.trap_handler t core cause
+let deliver_trap t core cause =
+  if Tel.Sink.enabled t.sink then begin
+    let label = Trap.cause_label cause in
+    Tel.Sink.incr_counter t.sink ("hw.traps." ^ label);
+    Tel.Sink.emit t.sink ~core:core.id ~cycles:core.cycles
+      (Tel.Event.Trap_enter { cause = label });
+    t.trap_handler t core cause;
+    Tel.Sink.emit t.sink ~core:core.id ~cycles:core.cycles
+      (Tel.Event.Trap_exit { cause = label })
+  end
+  else t.trap_handler t core cause
 
 (* Returns true if an interrupt was delivered instead of an instruction. *)
 let check_interrupts t core =
@@ -314,7 +386,11 @@ let step t core =
         | Some instr -> begin
             core.cycles <- core.cycles + 1;
             match execute t core instr with
-            | () -> core.instret <- core.instret + 1
+            | () ->
+                core.instret <- core.instret + 1;
+                (match t.ctrs with
+                | Some c -> Tel.Metrics.incr c.c_instret
+                | None -> ())
             | exception Fault f -> deliver_trap t core (Trap.Exception f)
           end
       end
@@ -333,19 +409,38 @@ let run t ~core ~fuel =
   done;
   c.instret - start
 
+let trace_dma t ~write ~paddr ~len ~granted =
+  if Tel.Sink.enabled t.sink then begin
+    Tel.Sink.incr_counter t.sink
+      (if not granted then "hw.dma.rejected"
+       else if write then "hw.dma.writes"
+       else "hw.dma.reads");
+    Tel.Sink.emit t.sink ~core:(-1) ~cycles:(now t)
+      (Tel.Event.Dma_transfer { write; paddr; len; granted })
+  end
+
 let dma_write t ~paddr data =
-  if not (t.dma_check ~paddr ~len:(String.length data)) then
+  let len = String.length data in
+  if not (t.dma_check ~paddr ~len) then begin
+    trace_dma t ~write:true ~paddr ~len ~granted:false;
     Error (Trap.Access_fault (Trap.Write, Int64.of_int paddr))
-  else if paddr < 0 || paddr + String.length data > Phys_mem.size t.mem then
+  end
+  else if paddr < 0 || paddr + len > Phys_mem.size t.mem then
     Error (Trap.Access_fault (Trap.Write, Int64.of_int paddr))
   else begin
+    trace_dma t ~write:true ~paddr ~len ~granted:true;
     Phys_mem.write_string t.mem ~pos:paddr data;
     Ok ()
   end
 
 let dma_read t ~paddr ~len =
-  if not (t.dma_check ~paddr ~len) then
+  if not (t.dma_check ~paddr ~len) then begin
+    trace_dma t ~write:false ~paddr ~len ~granted:false;
     Error (Trap.Access_fault (Trap.Read, Int64.of_int paddr))
+  end
   else if paddr < 0 || len < 0 || paddr + len > Phys_mem.size t.mem then
     Error (Trap.Access_fault (Trap.Read, Int64.of_int paddr))
-  else Ok (Phys_mem.read_string t.mem ~pos:paddr ~len)
+  else begin
+    trace_dma t ~write:false ~paddr ~len ~granted:true;
+    Ok (Phys_mem.read_string t.mem ~pos:paddr ~len)
+  end

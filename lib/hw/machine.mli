@@ -65,6 +65,21 @@ val set_trap_handler : t -> (t -> core -> Trap.cause -> unit) -> unit
     state (pc, registers, domain, satp) and returns; execution resumes
     at [core.pc] unless the handler halted the core. *)
 
+(** {2 Telemetry} *)
+
+val set_sink : t -> Sanctorum_telemetry.Sink.t -> unit
+(** Attach a telemetry sink. Trap deliveries and DMA transfers become
+    events; when the sink carries a metrics registry, counter handles
+    for [hw.cache.*], [hw.tlb.*], [hw.ptw.steps] and [hw.instret] are
+    resolved once here and bumped on the hot paths. With the default
+    {!Sanctorum_telemetry.Sink.null} every site is a single test. *)
+
+val sink : t -> Sanctorum_telemetry.Sink.t
+
+val now : t -> int
+(** Machine-wide timestamp for host-context events: the maximum cycle
+    count over all cores. *)
+
 (** {2 Execution} *)
 
 val step : t -> core -> unit

@@ -7,7 +7,12 @@ type entry = {
   mutable perms : perms;
 }
 
-type t = { entries : entry array; mutable next : int }
+type t = {
+  entries : entry array;
+  mutable next : int;
+  mutable hits : int;
+  mutable misses : int;
+}
 
 let no_perms = { r = false; w = false; x = false; u = false }
 
@@ -18,6 +23,8 @@ let create ~entries =
       Array.init entries (fun _ ->
           { valid = false; vpn = 0; ppn = 0; perms = no_perms });
     next = 0;
+    hits = 0;
+    misses = 0;
   }
 
 let lookup t ~vpn =
@@ -25,6 +32,9 @@ let lookup t ~vpn =
   Array.iter
     (fun e -> if e.valid && e.vpn = vpn then found := Some (e.ppn, e.perms))
     t.entries;
+  (match !found with
+  | Some _ -> t.hits <- t.hits + 1
+  | None -> t.misses <- t.misses + 1);
   !found
 
 let insert t ~vpn ~ppn ~perms =
@@ -51,3 +61,9 @@ let flush_vpn t ~vpn =
 
 let entry_count t =
   Array.fold_left (fun n e -> if e.valid then n + 1 else n) 0 t.entries
+
+let stats t = (t.hits, t.misses)
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0

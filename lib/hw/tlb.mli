@@ -21,3 +21,8 @@ val flush_vpn : t -> vpn:int -> unit
 
 val entry_count : t -> int
 (** Number of currently valid entries. *)
+
+val stats : t -> int * int
+(** (hits, misses) of {!lookup} since creation or [reset_stats]. *)
+
+val reset_stats : t -> unit

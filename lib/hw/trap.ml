@@ -19,6 +19,22 @@ let pp_access ppf a =
   Format.pp_print_string ppf
     (match a with Read -> "read" | Write -> "write" | Execute -> "execute")
 
+let access_label = function
+  | Read -> "read"
+  | Write -> "write"
+  | Execute -> "execute"
+
+let cause_label = function
+  | Exception (Illegal_instruction _) -> "illegal-instruction"
+  | Exception (Misaligned (a, _)) -> "misaligned-" ^ access_label a
+  | Exception (Access_fault (a, _)) -> "access-fault-" ^ access_label a
+  | Exception (Page_fault (a, _)) -> "page-fault-" ^ access_label a
+  | Exception Ecall_user -> "ecall"
+  | Exception Breakpoint -> "breakpoint"
+  | Interrupt Timer -> "irq-timer"
+  | Interrupt Software -> "irq-software"
+  | Interrupt (External _) -> "irq-external"
+
 let pp_cause ppf = function
   | Exception (Illegal_instruction w) ->
       Format.fprintf ppf "illegal instruction %08lx" w

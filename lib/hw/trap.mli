@@ -29,5 +29,10 @@ type domain = int
 val domain_sm : domain
 val domain_untrusted : domain
 
+val cause_label : cause -> string
+(** A short stable slug for a cause, without faulting addresses —
+    e.g. ["page-fault-read"], ["ecall"], ["irq-timer"]. Suitable as a
+    trace-event name or metric-name suffix. *)
+
 val pp_access : Format.formatter -> access -> unit
 val pp_cause : Format.formatter -> cause -> unit

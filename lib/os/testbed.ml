@@ -17,7 +17,7 @@ let backend_name = function
   | Keystone_backend -> "keystone"
 
 let create ?(backend = Sanctum_backend) ?(cores = 4)
-    ?(mem_bytes = 16 * 1024 * 1024) ?l2 ?(seed = "testbed") () =
+    ?(mem_bytes = 16 * 1024 * 1024) ?l2 ?(seed = "testbed") ?sink () =
   let base = Hw.Machine.default_config in
   let l2 = Option.value ~default:base.Hw.Machine.l2 l2 in
   let machine = Hw.Machine.create { base with cores; mem_bytes; l2 } in
@@ -36,6 +36,11 @@ let create ?(backend = Sanctum_backend) ?(cores = 4)
       ~signing_enclave_measurement:
         Sanctorum.Attestation.signing_expected_measurement
   in
+  (* Attach before the OS model runs so even the first API calls land
+     in the trace. *)
+  (match sink with
+  | Some s -> Sanctorum.Sm.set_sink sm s
+  | None -> ());
   let os = Os.create sm in
   { platform; machine; sm; os; rng = Crypto.Drbg.create ~seed }
 

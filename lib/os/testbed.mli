@@ -18,11 +18,14 @@ val create :
   ?mem_bytes:int ->
   ?l2:Sanctorum_hw.Cache.config ->
   ?seed:string ->
+  ?sink:Sanctorum_telemetry.Sink.t ->
   unit ->
   t
 (** Defaults: Sanctum backend, 4 cores, 16 MiB of memory, seed
     "testbed". The manufacturer root, device secret and DRBG are all
-    derived from [seed], so runs are reproducible. *)
+    derived from [seed], so runs are reproducible. [sink], when given,
+    is attached to the monitor and machine before the OS model issues
+    its first API call. *)
 
 val backend_name : backend -> string
 

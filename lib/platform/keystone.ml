@@ -1,4 +1,5 @@
 module Hw = Sanctorum_hw
+module Tel = Sanctorum_telemetry
 
 let create machine =
   let mem = Hw.Machine.mem machine in
@@ -116,13 +117,24 @@ let create machine =
       (fun (c : Hw.Machine.core) ->
         Hw.Tlb.flush c.Hw.Machine.tlb;
         Hw.Cache.flush_all c.Hw.Machine.l1)
-      (Hw.Machine.cores machine)
+      (Hw.Machine.cores machine);
+    let sink = Hw.Machine.sink machine in
+    if Tel.Sink.enabled sink then
+      Tel.Sink.emit sink ~core:(-1) ~cycles:(Hw.Machine.now machine)
+        (Tel.Event.Tlb_flush { reason = "region-clean-shootdown" })
   in
   let enter_domain ~(core : Hw.Machine.core) domain =
     Hw.Cache.flush_all core.Hw.Machine.l1;
     Hw.Tlb.flush core.Hw.Machine.tlb;
     program_pmp core domain;
-    core.Hw.Machine.domain <- domain
+    core.Hw.Machine.domain <- domain;
+    let sink = Hw.Machine.sink machine in
+    if Tel.Sink.enabled sink then begin
+      let id = core.Hw.Machine.id and cycles = core.Hw.Machine.cycles in
+      Tel.Sink.emit sink ~core:id ~cycles
+        (Tel.Event.Tlb_flush { reason = "domain-switch" });
+      Tel.Sink.emit sink ~core:id ~cycles (Tel.Event.Domain_switch { domain })
+    end
   in
   {
     Platform.name = "keystone";

@@ -1,4 +1,5 @@
 module Hw = Sanctorum_hw
+module Tel = Sanctorum_telemetry
 
 let default_region_count = 64
 
@@ -83,14 +84,25 @@ let create ?(region_count = default_region_count) machine =
       (fun (c : Hw.Machine.core) ->
         Hw.Tlb.flush c.Hw.Machine.tlb;
         Hw.Cache.flush_all c.Hw.Machine.l1)
-      (Hw.Machine.cores machine)
+      (Hw.Machine.cores machine);
+    let sink = Hw.Machine.sink machine in
+    if Tel.Sink.enabled sink then
+      Tel.Sink.emit sink ~core:(-1) ~cycles:(Hw.Machine.now machine)
+        (Tel.Event.Tlb_flush { reason = "region-clean-shootdown" })
   in
   let enter_domain ~(core : Hw.Machine.core) domain =
     (* Cores are time-multiplexed: all per-core microarchitectural
        state is flushed at each re-allocation (§IV-B2). *)
     Hw.Cache.flush_all core.Hw.Machine.l1;
     Hw.Tlb.flush core.Hw.Machine.tlb;
-    core.Hw.Machine.domain <- domain
+    core.Hw.Machine.domain <- domain;
+    let sink = Hw.Machine.sink machine in
+    if Tel.Sink.enabled sink then begin
+      let id = core.Hw.Machine.id and cycles = core.Hw.Machine.cycles in
+      Tel.Sink.emit sink ~core:id ~cycles
+        (Tel.Event.Tlb_flush { reason = "domain-switch" });
+      Tel.Sink.emit sink ~core:id ~cycles (Tel.Event.Domain_switch { domain })
+    end
   in
   {
     Platform.name = "sanctum";

@@ -1,0 +1,103 @@
+type api_outcome = Accepted | Rejected of string
+
+type payload =
+  | Trap_enter of { cause : string }
+  | Trap_exit of { cause : string }
+  | Sm_api of {
+      api : string;
+      caller : string;
+      outcome : api_outcome;
+      latency : int;
+    }
+  | Enclave_created of { eid : int }
+  | Enclave_entered of { eid : int; tid : int; target_core : int }
+  | Enclave_exited of { eid : int; aex : bool }
+  | Enclave_destroyed of { eid : int }
+  | Region_granted of { kind : string; rid : int; owner : string }
+  | Region_freed of { kind : string; rid : int }
+  | Domain_switch of { domain : int }
+  | Tlb_flush of { reason : string }
+  | Mailbox_sent of { sender : string; recipient : int }
+  | Mailbox_received of { recipient : int; sender : string }
+  | Dma_transfer of { write : bool; paddr : int; len : int; granted : bool }
+
+type t = { seq : int; core : int; cycles : int; payload : payload }
+
+let label = function
+  | Trap_enter { cause } | Trap_exit { cause } -> "trap:" ^ cause
+  | Sm_api { api; _ } -> "sm:" ^ api
+  | Enclave_created _ -> "enclave:create"
+  | Enclave_entered _ -> "enclave:enter"
+  | Enclave_exited { aex = true; _ } -> "enclave:aex"
+  | Enclave_exited { aex = false; _ } -> "enclave:exit"
+  | Enclave_destroyed _ -> "enclave:destroy"
+  | Region_granted _ -> "region:grant"
+  | Region_freed _ -> "region:free"
+  | Domain_switch _ -> "hw:domain-switch"
+  | Tlb_flush _ -> "hw:tlb-flush"
+  | Mailbox_sent _ -> "mailbox:send"
+  | Mailbox_received _ -> "mailbox:receive"
+  | Dma_transfer { write = true; _ } -> "hw:dma-write"
+  | Dma_transfer { write = false; _ } -> "hw:dma-read"
+
+let category p =
+  let l = label p in
+  match String.index_opt l ':' with
+  | Some i -> String.sub l 0 i
+  | None -> l
+
+let phase = function
+  | Trap_enter _ -> `Begin
+  | Trap_exit _ -> `End
+  | Sm_api { latency; _ } -> `Complete latency
+  | Enclave_created _ | Enclave_entered _ | Enclave_exited _
+  | Enclave_destroyed _ | Region_granted _ | Region_freed _ | Domain_switch _
+  | Tlb_flush _ | Mailbox_sent _ | Mailbox_received _ | Dma_transfer _ ->
+      `Instant
+
+let args = function
+  | Trap_enter { cause } | Trap_exit { cause } -> [ ("cause", cause) ]
+  | Sm_api { api; caller; outcome; latency } ->
+      [
+        ("api", api);
+        ("caller", caller);
+        ( "outcome",
+          match outcome with Accepted -> "accepted" | Rejected _ -> "rejected"
+        );
+        ("latency", string_of_int latency);
+      ]
+      @ (match outcome with Accepted -> [] | Rejected e -> [ ("error", e) ])
+  | Enclave_created { eid } -> [ ("eid", Printf.sprintf "0x%x" eid) ]
+  | Enclave_entered { eid; tid; target_core } ->
+      [
+        ("eid", Printf.sprintf "0x%x" eid);
+        ("tid", Printf.sprintf "0x%x" tid);
+        ("core", string_of_int target_core);
+      ]
+  | Enclave_exited { eid; aex } ->
+      [ ("eid", Printf.sprintf "0x%x" eid); ("aex", string_of_bool aex) ]
+  | Enclave_destroyed { eid } -> [ ("eid", Printf.sprintf "0x%x" eid) ]
+  | Region_granted { kind; rid; owner } ->
+      [ ("kind", kind); ("rid", string_of_int rid); ("owner", owner) ]
+  | Region_freed { kind; rid } ->
+      [ ("kind", kind); ("rid", string_of_int rid) ]
+  | Domain_switch { domain } -> [ ("domain", string_of_int domain) ]
+  | Tlb_flush { reason } -> [ ("reason", reason) ]
+  | Mailbox_sent { sender; recipient } ->
+      [ ("sender", sender); ("recipient", Printf.sprintf "0x%x" recipient) ]
+  | Mailbox_received { recipient; sender } ->
+      [ ("recipient", Printf.sprintf "0x%x" recipient); ("sender", sender) ]
+  | Dma_transfer { write; paddr; len; granted } ->
+      [
+        ("dir", if write then "write" else "read");
+        ("paddr", Printf.sprintf "0x%x" paddr);
+        ("len", string_of_int len);
+        ("granted", string_of_bool granted);
+      ]
+
+let pp ppf t =
+  let core = if t.core < 0 then "host" else "c" ^ string_of_int t.core in
+  Format.fprintf ppf "#%d [%s @%d] %s" t.seq core t.cycles (label t.payload);
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf " %s=%s" k v)
+    (args t.payload)

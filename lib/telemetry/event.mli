@@ -1,0 +1,60 @@
+(** Typed trace events.
+
+    One event records one observable action of the simulated stack: a
+    trap entering or leaving the monitor's funnel, an SM API decision,
+    an enclave lifecycle step, a resource transfer, a TLB shootdown, a
+    mailbox operation, or a DMA transfer. Events are timestamped with
+    the simulated cycle counter of the core they happened on ([core]
+    is [-1] for host-context actions that run outside any simulated
+    core, e.g. API calls issued natively by the OS model). *)
+
+type api_outcome =
+  | Accepted
+  | Rejected of string  (** rendered {!Sanctorum.Api_error.t} *)
+
+type payload =
+  | Trap_enter of { cause : string }
+      (** control entered the M-mode trap funnel *)
+  | Trap_exit of { cause : string }  (** the trap handler returned *)
+  | Sm_api of {
+      api : string;
+      caller : string;
+      outcome : api_outcome;
+      latency : int;  (** simulated cycles spent inside the call *)
+    }
+  | Enclave_created of { eid : int }
+  | Enclave_entered of { eid : int; tid : int; target_core : int }
+  | Enclave_exited of { eid : int; aex : bool }
+      (** [aex] is true for an asynchronous exit, false for a
+          voluntary [exit_enclave] *)
+  | Enclave_destroyed of { eid : int }
+  | Region_granted of { kind : string; rid : int; owner : string }
+  | Region_freed of { kind : string; rid : int }
+  | Domain_switch of { domain : int }
+  | Tlb_flush of { reason : string }
+  | Mailbox_sent of { sender : string; recipient : int }
+  | Mailbox_received of { recipient : int; sender : string }
+  | Dma_transfer of { write : bool; paddr : int; len : int; granted : bool }
+
+type t = {
+  seq : int;  (** global emission order, assigned by the sink *)
+  core : int;  (** originating core id, [-1] = host/monitor context *)
+  cycles : int;  (** simulated-cycle timestamp *)
+  payload : payload;
+}
+
+val label : payload -> string
+(** Short stable name, e.g. ["trap:ecall"], ["sm:create_enclave"],
+    ["enclave:exit"]. The prefix before [':'] is the category. *)
+
+val category : payload -> string
+
+val phase : payload -> [ `Begin | `End | `Complete of int | `Instant ]
+(** Chrome-trace phase: trap enter/exit bracket a duration, SM API
+    calls are complete events carrying their latency, everything else
+    is instant. *)
+
+val args : payload -> (string * string) list
+(** Structured key/value detail for exporters. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,182 @@
+(* The synthetic Chrome-trace thread id for host-context events. *)
+let host_tid = 1000
+
+let tid_of core = if core < 0 then host_tid else core
+
+let metadata_events events =
+  let tids =
+    List.sort_uniq compare (List.map (fun e -> tid_of e.Event.core) events)
+  in
+  let thread_name tid =
+    Json.Obj
+      [
+        ("name", Json.String "thread_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int 0);
+        ("tid", Json.Int tid);
+        ( "args",
+          Json.Obj
+            [
+              ( "name",
+                Json.String
+                  (if tid = host_tid then "sm host"
+                   else Printf.sprintf "core %d" tid) );
+            ] );
+      ]
+  in
+  Json.Obj
+    [
+      ("name", Json.String "process_name");
+      ("ph", Json.String "M");
+      ("pid", Json.Int 0);
+      ("args", Json.Obj [ ("name", Json.String "sanctorum machine") ]);
+    ]
+  :: List.map thread_name tids
+
+let args_json payload =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) (Event.args payload))
+
+let chrome_event (e : Event.t) =
+  let common =
+    [
+      ("name", Json.String (Event.label e.payload));
+      ("cat", Json.String (Event.category e.payload));
+      ("pid", Json.Int 0);
+      ("tid", Json.Int (tid_of e.core));
+      ("args", args_json e.payload);
+    ]
+  in
+  match Event.phase e.payload with
+  | `Begin -> Json.Obj (("ph", Json.String "B") :: ("ts", Json.Int e.cycles) :: common)
+  | `End -> Json.Obj (("ph", Json.String "E") :: ("ts", Json.Int e.cycles) :: common)
+  | `Complete dur ->
+      Json.Obj
+        (("ph", Json.String "X")
+        :: ("ts", Json.Int (e.cycles - dur))
+        :: ("dur", Json.Int dur)
+        :: common)
+  | `Instant ->
+      Json.Obj
+        (("ph", Json.String "i")
+        :: ("ts", Json.Int e.cycles)
+        :: ("s", Json.String "t")
+        :: common)
+
+let metric_totals metrics =
+  List.map
+    (fun (name, item) ->
+      match item with
+      | Metrics.Counter c -> (name, Json.Int (Metrics.value c))
+      | Metrics.Histogram h ->
+          let s = Metrics.summary h in
+          ( name,
+            Json.Obj
+              [
+                ("count", Json.Int s.Metrics.count);
+                ("sum", Json.Int s.Metrics.sum);
+                ("min", Json.Int s.Metrics.min);
+                ("max", Json.Int s.Metrics.max);
+                ("mean", Json.Float s.Metrics.mean);
+              ] ))
+    (Metrics.to_list metrics)
+
+let chrome_trace ?metrics events =
+  let fields =
+    [
+      ( "traceEvents",
+        Json.List (metadata_events events @ List.map chrome_event events) );
+      ("displayTimeUnit", Json.String "ms");
+    ]
+    @
+    match metrics with
+    | None -> []
+    | Some m -> [ ("otherData", Json.Obj (metric_totals m)) ]
+  in
+  Json.to_string (Json.Obj fields)
+
+let jsonl events =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (e : Event.t) ->
+      Json.to_buffer buf
+        (Json.Obj
+           [
+             ("seq", Json.Int e.seq);
+             ("core", Json.Int e.core);
+             ("cycles", Json.Int e.cycles);
+             ("name", Json.String (Event.label e.payload));
+             ("args", args_json e.payload);
+           ]);
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Human-readable summary *)
+
+let subsystem name =
+  match String.index_opt name '.' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let summary ?events ppf metrics =
+  let items = Metrics.to_list metrics in
+  Format.fprintf ppf "== telemetry summary ==@.";
+  let last_sub = ref "" in
+  List.iter
+    (fun (name, item) ->
+      let sub = subsystem name in
+      if sub <> !last_sub then begin
+        Format.fprintf ppf "[%s]@." sub;
+        last_sub := sub
+      end;
+      match item with
+      | Metrics.Counter c ->
+          Format.fprintf ppf "  %-44s %12d@." name (Metrics.value c)
+      | Metrics.Histogram h ->
+          let s = Metrics.summary h in
+          Format.fprintf ppf
+            "  %-44s n=%d mean=%.1f min=%d max=%d (cycles)@." name
+            s.Metrics.count s.Metrics.mean s.Metrics.min s.Metrics.max)
+    items;
+  (* Derived hit rates for every <base>.hits / <base>.misses pair. *)
+  let rates =
+    List.filter_map
+      (fun (name, item) ->
+        match item with
+        | Metrics.Counter hits
+          when Filename.check_suffix name ".hits" -> begin
+            let base = Filename.chop_suffix name ".hits" in
+            match Metrics.find metrics (base ^ ".misses") with
+            | Some (Metrics.Counter misses) ->
+                Some (base, Metrics.value hits, Metrics.value misses)
+            | Some (Metrics.Histogram _) | None -> None
+          end
+        | Metrics.Counter _ | Metrics.Histogram _ -> None)
+      items
+  in
+  if rates <> [] then begin
+    Format.fprintf ppf "[hit rates]@.";
+    List.iter
+      (fun (base, hits, misses) ->
+        let total = hits + misses in
+        let rate =
+          if total = 0 then 0. else 100. *. float_of_int hits /. float_of_int total
+        in
+        Format.fprintf ppf "  %-44s %11.2f%%  (%d/%d)@." base rate hits total)
+      rates
+  end;
+  match events with
+  | None -> ()
+  | Some evs ->
+      let per_cat = Hashtbl.create 8 in
+      List.iter
+        (fun (e : Event.t) ->
+          let c = Event.category e.payload in
+          Hashtbl.replace per_cat c
+            (1 + Option.value ~default:0 (Hashtbl.find_opt per_cat c)))
+        evs;
+      Format.fprintf ppf "[events] %d recorded@." (List.length evs);
+      Hashtbl.fold (fun c n acc -> (c, n) :: acc) per_cat []
+      |> List.sort compare
+      |> List.iter (fun (c, n) -> Format.fprintf ppf "  %-44s %12d@." c n)

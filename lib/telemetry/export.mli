@@ -1,0 +1,27 @@
+(** Exporters over a recorded event stream and metrics registry.
+
+    Three formats: a human-readable summary (counters, histograms and
+    derived hit rates), JSON lines (one event per line, for ad-hoc
+    tooling), and the Chrome [trace_event] format, loadable in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. Cycle
+    timestamps are exported 1 cycle = 1 µs, so the trace UI's time
+    axis reads directly in simulated cycles. *)
+
+val chrome_trace : ?metrics:Metrics.t -> Event.t list -> string
+(** The JSON-object flavour: [{"traceEvents": [...], ...}]. Cores map
+    to threads of one "sanctorum machine" process; host-context events
+    ([core = -1]) land on a synthetic "sm host" thread. Trap
+    enter/exit pairs become duration slices, SM API calls complete
+    events, the rest instants. Metric totals, when given, are attached
+    under ["otherData"]. *)
+
+val jsonl : Event.t list -> string
+(** One compact JSON object per event per line:
+    [{"seq":..,"core":..,"cycles":..,"name":..,"args":{..}}]. *)
+
+val summary :
+  ?events:Event.t list -> Format.formatter -> Metrics.t -> unit
+(** Counter/histogram table grouped by subsystem, with derived hit
+    rates for every [<base>.hits]/[<base>.misses] counter pair; when
+    [events] is given, ends with an event-stream digest (count per
+    category). *)

@@ -1,0 +1,98 @@
+type counter = { c_name : string; mutable v : int }
+
+(* Power-of-two buckets: bucket i counts samples in [2^i, 2^(i+1)),
+   bucket 0 also absorbs 0. Enough resolution for cycle latencies. *)
+let bucket_count = 62
+
+type histogram = {
+  h_name : string;
+  mutable hcount : int;
+  mutable hsum : int;
+  mutable hmin : int;
+  mutable hmax : int;
+  buckets : int array;
+}
+
+type summary = { count : int; sum : int; min : int; max : int; mean : float }
+type item = Counter of counter | Histogram of histogram
+type t = { tbl : (string, item) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let counter t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Counter c) -> c
+  | Some (Histogram _) ->
+      invalid_arg
+        (Printf.sprintf "Metrics.counter: %S is registered as a histogram" name)
+  | None ->
+      let c = { c_name = name; v = 0 } in
+      Hashtbl.replace t.tbl name (Counter c);
+      c
+
+let histogram t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Histogram h) -> h
+  | Some (Counter _) ->
+      invalid_arg
+        (Printf.sprintf "Metrics.histogram: %S is registered as a counter" name)
+  | None ->
+      let h =
+        {
+          h_name = name;
+          hcount = 0;
+          hsum = 0;
+          hmin = max_int;
+          hmax = min_int;
+          buckets = Array.make bucket_count 0;
+        }
+      in
+      Hashtbl.replace t.tbl name (Histogram h);
+      h
+
+let incr c = c.v <- c.v + 1
+let add c n = c.v <- c.v + n
+let value c = c.v
+
+let bucket_of v =
+  let rec go i x = if x <= 1 then i else go (i + 1) (x lsr 1) in
+  min (bucket_count - 1) (go 0 v)
+
+let observe h sample =
+  let sample = max 0 sample in
+  h.hcount <- h.hcount + 1;
+  h.hsum <- h.hsum + sample;
+  if sample < h.hmin then h.hmin <- sample;
+  if sample > h.hmax then h.hmax <- sample;
+  let b = bucket_of sample in
+  h.buckets.(b) <- h.buckets.(b) + 1
+
+let summary h =
+  {
+    count = h.hcount;
+    sum = h.hsum;
+    min = (if h.hcount = 0 then 0 else h.hmin);
+    max = (if h.hcount = 0 then 0 else h.hmax);
+    mean =
+      (if h.hcount = 0 then 0.
+       else float_of_int h.hsum /. float_of_int h.hcount);
+  }
+
+let name = function Counter c -> c.c_name | Histogram h -> h.h_name
+let find t n = Hashtbl.find_opt t.tbl n
+
+let to_list t =
+  Hashtbl.fold (fun n i acc -> (n, i) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let reset t =
+  Hashtbl.iter
+    (fun _ -> function
+      | Counter c -> c.v <- 0
+      | Histogram h ->
+          h.hcount <- 0;
+          h.hsum <- 0;
+          h.hmin <- max_int;
+          h.hmax <- min_int;
+          Array.fill h.buckets 0 bucket_count 0)
+    t.tbl

@@ -17,4 +17,5 @@ let () =
       Test_robustness.suite;
       Test_dynamic.suite;
       Test_fuzz.suite;
+      Test_telemetry.suite;
     ]

@@ -1,0 +1,253 @@
+(* The telemetry subsystem: ring-buffer discipline, metrics-registry
+   contracts, exporter well-formedness, and the Guardian-style check
+   that one enclave run emits its lifecycle events in order. *)
+module Hw = Sanctorum_hw
+module S = Sanctorum.Sm
+module Tel = Sanctorum_telemetry
+open Sanctorum_os
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer *)
+
+let test_ring_wraparound () =
+  let r = Tel.Ring.create ~capacity:4 in
+  for i = 0 to 9 do
+    Tel.Ring.push r i
+  done;
+  check_int "length" 4 (Tel.Ring.length r);
+  check_int "pushed" 10 (Tel.Ring.pushed r);
+  check_int "dropped" 6 (Tel.Ring.dropped r);
+  Alcotest.(check (list int)) "surviving window, oldest first" [ 6; 7; 8; 9 ]
+    (Tel.Ring.to_list r);
+  Tel.Ring.clear r;
+  check_int "cleared" 0 (Tel.Ring.length r);
+  check_int "accounting reset" 0 (Tel.Ring.dropped r)
+
+let test_ring_partial () =
+  let r = Tel.Ring.create ~capacity:8 in
+  Tel.Ring.push r "a";
+  Tel.Ring.push r "b";
+  Alcotest.(check (list string)) "no wrap" [ "a"; "b" ] (Tel.Ring.to_list r);
+  check_int "nothing dropped" 0 (Tel.Ring.dropped r)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry *)
+
+let test_metrics_registry () =
+  let m = Tel.Metrics.create () in
+  let c1 = Tel.Metrics.counter m "hw.tlb.hits" in
+  let c2 = Tel.Metrics.counter m "hw.tlb.hits" in
+  Tel.Metrics.incr c1;
+  Tel.Metrics.add c2 2;
+  (* same name -> same instrument *)
+  check_int "shared counter" 3 (Tel.Metrics.value c1);
+  (* registering the same name as the other kind is a program error *)
+  check_bool "kind conflict raises" true
+    (match Tel.Metrics.histogram m "hw.tlb.hits" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "reverse conflict raises" true
+    (let _ = Tel.Metrics.histogram m "sm.api.latency" in
+     match Tel.Metrics.counter m "sm.api.latency" with
+     | exception Invalid_argument _ -> true
+     | _ -> false);
+  check_int "registry size" 2 (List.length (Tel.Metrics.to_list m));
+  Tel.Metrics.reset m;
+  check_int "reset zeroes" 0 (Tel.Metrics.value c1)
+
+let test_histogram_summary () =
+  let m = Tel.Metrics.create () in
+  let h = Tel.Metrics.histogram m "sm.api.latency" in
+  List.iter (Tel.Metrics.observe h) [ 1; 2; 3; 10 ];
+  let s = Tel.Metrics.summary h in
+  check_int "count" 4 s.Tel.Metrics.count;
+  check_int "sum" 16 s.Tel.Metrics.sum;
+  check_int "min" 1 s.Tel.Metrics.min;
+  check_int "max" 10 s.Tel.Metrics.max;
+  Alcotest.(check (float 0.001)) "mean" 4.0 s.Tel.Metrics.mean
+
+(* ------------------------------------------------------------------ *)
+(* A traced end-to-end run shared by the remaining tests. *)
+
+let traced_run () =
+  let metrics = Tel.Metrics.create () in
+  let sink = Tel.Sink.create ~metrics () in
+  let tb = Testbed.create ~sink () in
+  let image =
+    Sanctorum.Image.of_program ~evbase:0x10000
+      Hw.Isa.[ Op_imm (Add, a7, zero, S.Ecall.exit_enclave); Ecall ]
+  in
+  (match Os.install_enclave tb.Testbed.os image with
+  | Ok inst ->
+      (match
+         Os.run_enclave tb.Testbed.os ~eid:inst.Os.eid
+           ~tid:(List.hd inst.Os.tids) ~core:0 ~fuel:1000 ()
+       with
+      | Ok Os.Exited -> ()
+      | _ -> Alcotest.fail "enclave did not exit")
+  | Error e -> Alcotest.failf "install: %s" (Sanctorum.Api_error.to_string e));
+  (tb, sink, metrics)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace export: structural well-formedness via our own parser. *)
+
+let test_chrome_trace_wellformed () =
+  let _tb, sink, metrics = traced_run () in
+  let events = Tel.Sink.events sink in
+  check_bool "events recorded" true (events <> []);
+  let json =
+    match Tel.Json.parse (Tel.Export.chrome_trace ~metrics events) with
+    | Ok j -> j
+    | Error m -> Alcotest.failf "trace does not parse: %s" m
+  in
+  let trace_events =
+    match Option.bind (Tel.Json.member "traceEvents" json) Tel.Json.to_list_opt
+    with
+    | Some l -> l
+    | None -> Alcotest.fail "no traceEvents array"
+  in
+  let name_of e =
+    match Option.bind (Tel.Json.member "name" e) Tel.Json.to_string_opt with
+    | Some n -> n
+    | None -> Alcotest.fail "event without a name"
+  in
+  List.iter
+    (fun e ->
+      let _ = name_of e in
+      check_bool "has ph" true (Tel.Json.member "ph" e <> None);
+      check_bool "has pid" true (Tel.Json.member "pid" e <> None);
+      (* metadata records carry no timestamp; everything else must *)
+      match Option.bind (Tel.Json.member "ph" e) Tel.Json.to_string_opt with
+      | Some "M" -> ()
+      | _ ->
+          check_bool "has ts" true
+            (Option.bind (Tel.Json.member "ts" e) Tel.Json.to_int_opt <> None))
+    trace_events;
+  let names = List.map name_of trace_events in
+  let has prefix =
+    List.exists
+      (fun n ->
+        String.length n >= String.length prefix
+        && String.sub n 0 (String.length prefix) = prefix)
+      names
+  in
+  check_bool "trap events present" true (has "trap:");
+  check_bool "SM API events present" true (has "sm:");
+  check_bool "lifecycle events present" true (has "enclave:");
+  (* metric totals ride along *)
+  check_bool "otherData attached" true (Tel.Json.member "otherData" json <> None)
+
+let test_jsonl_export () =
+  let _tb, sink, _metrics = traced_run () in
+  let lines =
+    Tel.Export.jsonl (Tel.Sink.events sink)
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  check_int "one line per event" (List.length (Tel.Sink.events sink))
+    (List.length lines);
+  List.iter
+    (fun line ->
+      match Tel.Json.parse line with
+      | Ok j -> check_bool "has cycles" true (Tel.Json.member "cycles" j <> None)
+      | Error m -> Alcotest.failf "bad jsonl line: %s" m)
+    lines
+
+(* ------------------------------------------------------------------ *)
+(* Orderliness: one create -> enter -> exit run must emit exactly that
+   lifecycle sequence, in emission order, with the right eid. *)
+
+let test_lifecycle_event_order () =
+  let _tb, sink, metrics = traced_run () in
+  let events = Tel.Sink.events sink in
+  (* seq is globally increasing *)
+  let rec ordered = function
+    | (a : Tel.Event.t) :: (b :: _ as rest) ->
+        a.Tel.Event.seq < b.Tel.Event.seq && ordered rest
+    | [ _ ] | [] -> true
+  in
+  check_bool "sequence numbers increase" true (ordered events);
+  let lifecycle =
+    List.filter_map
+      (fun (e : Tel.Event.t) ->
+        match e.Tel.Event.payload with
+        | Tel.Event.Enclave_created { eid } -> Some (`Created eid)
+        | Tel.Event.Enclave_entered { eid; _ } -> Some (`Entered eid)
+        | Tel.Event.Enclave_exited { eid; aex } -> Some (`Exited (eid, aex))
+        | _ -> None)
+      events
+  in
+  (match lifecycle with
+  | [ `Created e1; `Entered e2; `Exited (e3, aex) ] ->
+      check_bool "same enclave throughout" true (e1 = e2 && e2 = e3);
+      check_bool "voluntary exit, not AEX" false aex
+  | _ -> Alcotest.failf "unexpected lifecycle shape (%d events)"
+           (List.length lifecycle));
+  (* the counters saw the same story *)
+  let value n =
+    match Tel.Metrics.find metrics n with
+    | Some (Tel.Metrics.Counter c) -> Tel.Metrics.value c
+    | _ -> 0
+  in
+  check_int "one create call" 1 (value "sm.api.calls.create_enclave");
+  check_int "one enter call" 1 (value "sm.api.calls.enter_enclave");
+  check_bool "instructions retired" true (value "hw.instret" > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Audit log: rejections are recorded with their reason. *)
+
+let test_audit_rejections () =
+  let tb, sink, _metrics = traced_run () in
+  (* the OS is not an enclave: this call must be refused and audited *)
+  (match S.exit_enclave tb.Testbed.sm ~caller:S.Os ~core:0 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "OS exit_enclave unexpectedly accepted");
+  let entries = Tel.Audit.of_events (Tel.Sink.events sink) in
+  check_bool "decisions recorded" true (entries <> []);
+  check_bool "no rejection before the bad call" true
+    (List.for_all
+       (fun e -> e.Tel.Audit.api <> "exit_enclave" || e.Tel.Audit.caller <> "os")
+       (Tel.Audit.accepted entries));
+  match
+    List.filter
+      (fun e -> e.Tel.Audit.api = "exit_enclave" && e.Tel.Audit.caller = "os")
+      (Tel.Audit.rejected entries)
+  with
+  | [ e ] ->
+      check_bool "carries the reason" true
+        (match e.Tel.Audit.decision with
+        | Tel.Audit.Rejected reason -> reason <> ""
+        | Tel.Audit.Accepted -> false)
+  | l -> Alcotest.failf "expected one rejected entry, got %d" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* The null sink records nothing and registers nothing. *)
+
+let test_null_sink () =
+  let tb = Testbed.create () in
+  check_bool "null sink attached by default" false
+    (Tel.Sink.enabled (S.sink tb.Testbed.sm));
+  check_int "no events" 0 (List.length (Tel.Sink.events (S.sink tb.Testbed.sm)))
+
+let suite =
+  ( "telemetry",
+    [
+      Alcotest.test_case "ring: wraparound keeps newest window" `Quick
+        test_ring_wraparound;
+      Alcotest.test_case "ring: partial fill" `Quick test_ring_partial;
+      Alcotest.test_case "metrics: get-or-create and kind conflicts" `Quick
+        test_metrics_registry;
+      Alcotest.test_case "metrics: histogram summary" `Quick
+        test_histogram_summary;
+      Alcotest.test_case "export: chrome trace is well-formed" `Quick
+        test_chrome_trace_wellformed;
+      Alcotest.test_case "export: jsonl round-trips" `Quick test_jsonl_export;
+      Alcotest.test_case "events: lifecycle order for one run" `Quick
+        test_lifecycle_event_order;
+      Alcotest.test_case "audit: rejections carry their reason" `Quick
+        test_audit_rejections;
+      Alcotest.test_case "sink: null by default" `Quick test_null_sink;
+    ] )
