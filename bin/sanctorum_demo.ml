@@ -14,6 +14,7 @@
 module Hw = Sanctorum_hw
 module S = Sanctorum.Sm
 module Tel = Sanctorum_telemetry
+module An = Sanctorum_analysis
 open Sanctorum_os
 
 type tel_opts = {
@@ -21,6 +22,8 @@ type tel_opts = {
   trace_jsonl : string option;
   metrics : bool;
   audit : bool;
+  check_invariants : bool;
+      (* run the Sanctorum_analysis snapshot pass after every API call *)
 }
 
 let write_file file contents =
@@ -65,6 +68,20 @@ let with_telemetry opts f =
       Format.printf "%a" Tel.Audit.pp (Tel.Audit.of_events events)
   end
 
+(* --check-invariants: stop at the first API call after which the
+   monitor's state breaks an invariant of the catalog. *)
+let arm_checker opts sm =
+  if opts.check_invariants then
+    S.set_post_api_hook sm
+      (Some
+         (fun ~api ->
+           match An.Checker.snapshot sm with
+           | [] -> ()
+           | vs ->
+               Format.eprintf "invariant violation after %s:@.%a@." api
+                 An.Report.pp_list vs;
+               exit 2))
+
 let hex8 s = Sanctorum_util.Hex.encode (String.sub s 0 8)
 
 let backend_conv =
@@ -83,6 +100,7 @@ let exit_prog = Hw.Isa.[ Op_imm (Add, a7, zero, S.Ecall.exit_enclave); Ecall ]
 let cmd_boot tel backend =
   with_telemetry tel @@ fun sink ->
   let tb = Testbed.create ~backend ?sink () in
+  arm_checker tel tb.Testbed.sm;
   let sm = tb.Testbed.sm in
   Printf.printf "platform        : %s\n" tb.Testbed.platform.Sanctorum_platform.Platform.name;
   Printf.printf "cores           : %d\n" (Hw.Machine.core_count tb.Testbed.machine);
@@ -102,6 +120,7 @@ let cmd_boot tel backend =
 let cmd_run tel backend count quantum =
   with_telemetry tel @@ fun sink ->
   let tb = Testbed.create ~backend ?sink () in
+  arm_checker tel tb.Testbed.sm;
   let evbase = 0x10000 in
   let counter = evbase + 4096 in
   let body =
@@ -147,6 +166,7 @@ let cmd_run tel backend count quantum =
 let cmd_attest tel backend =
   with_telemetry tel @@ fun sink ->
   let tb = Testbed.create ~backend ?sink () in
+  arm_checker tel tb.Testbed.sm;
   match Testbed.install_signing_enclave tb with
   | Error e -> Printf.printf "signing enclave: %s\n" (Sanctorum.Api_error.to_string e)
   | Ok es ->
@@ -169,6 +189,7 @@ let cmd_attest tel backend =
 let cmd_probe tel backend =
   with_telemetry tel @@ fun sink ->
   let tb = Testbed.create ~backend ?sink () in
+  arm_checker tel tb.Testbed.sm;
   let image = Sanctorum.Image.of_program ~evbase:0x10000 exit_prog in
   match Os.install_enclave tb.Testbed.os image with
   | Error e -> Printf.printf "install: %s\n" (Sanctorum.Api_error.to_string e)
@@ -211,6 +232,7 @@ let cmd_leak tel backend secret =
     Testbed.create ~backend ~l2:Sanctorum_attack.Cache_probe.recommended_l2
       ?sink ()
   in
+  arm_checker tel tb.Testbed.sm;
   match Sanctorum_attack.Cache_probe.run tb ~secret () with
   | Error m -> Printf.printf "error: %s\n" m
   | Ok o ->
@@ -219,6 +241,130 @@ let cmd_leak tel backend secret =
         (if o.Sanctorum_attack.Cache_probe.leaked then
            "the attacker recovered the enclave's secret"
          else "no signal: the LLC partition holds")
+
+(* `sanctorum_demo check`: run the canonical scenarios on both backends
+   with the full analysis harness armed — snapshot pass after every API
+   call, lock-discipline and orderliness passes over the recorded trace
+   at the end — and fail loudly if anything fires. *)
+let cmd_check catalog_only =
+  Printf.printf "invariant catalog (%d):\n" (List.length An.Checker.catalog);
+  List.iter
+    (fun (id, descr) -> Printf.printf "  %-16s %s\n" id descr)
+    An.Checker.catalog;
+  if catalog_only then ()
+  else begin
+    let failures = ref 0 in
+    let scenario backend name f =
+      let sink = Tel.Sink.create ~capacity:(1 lsl 16) () in
+      let tb = Testbed.create ~backend ~sink () in
+      let sm = tb.Testbed.sm in
+      let snap = ref [] in
+      S.set_post_api_hook sm
+        (Some
+           (fun ~api ->
+             List.iter
+               (fun v -> snap := (api, v) :: !snap)
+               (An.Checker.snapshot sm)));
+      f tb;
+      S.set_post_api_hook sm None;
+      let trace_vs = An.Checker.trace (Tel.Sink.events sink) in
+      let n = List.length !snap + List.length trace_vs in
+      Printf.printf "  %-8s %-16s %6d API calls  %s\n"
+        (Testbed.backend_name backend)
+        name
+        (List.length
+           (List.filter
+              (fun e ->
+                match e.Tel.Event.payload with
+                | Tel.Event.Sm_api _ -> true
+                | _ -> false)
+              (Tel.Sink.events sink)))
+        (if n = 0 then "clean" else Printf.sprintf "%d VIOLATIONS" n);
+      failures := !failures + n;
+      List.iter
+        (fun (api, v) ->
+          Format.printf "    after %s: %a@." api An.Report.pp v)
+        (List.rev !snap);
+      List.iter (fun v -> Format.printf "    trace: %a@." An.Report.pp v) trace_vs
+    in
+    let run_scenario tb =
+      (* count in a data page with a short quantum so the run crosses
+         several preempt / AEX / resume cycles (§V-C) *)
+      let counter = 0x10000 + 4096 in
+      let image =
+        Sanctorum.Image.of_program ~evbase:0x10000 ~data_pages:1
+          Hw.Isa.(
+            li t0 counter
+            @ [ Load (Ld, t1, t0, 0) ]
+            @ li t2 2000
+            @ [
+                Branch (Bge, t1, t2, 16);
+                Op_imm (Add, t1, t1, 1);
+                Store (Sd, t1, t0, 0);
+                Jal (zero, -12);
+              ]
+            @ exit_prog)
+      in
+      match Os.install_enclave tb.Testbed.os image with
+      | Error e -> Printf.printf "install: %s\n" (Sanctorum.Api_error.to_string e)
+      | Ok inst ->
+          let eid = inst.Os.eid and tid = List.hd inst.Os.tids in
+          let rec drive resume budget =
+            if budget = 0 then ()
+            else
+              let r =
+                if resume then
+                  Os.resume_enclave tb.Testbed.os ~eid ~tid ~core:0 ~fuel:100000
+                    ~quantum:300 ()
+                else
+                  Os.run_enclave tb.Testbed.os ~eid ~tid ~core:0 ~fuel:100000
+                    ~quantum:300 ()
+              in
+              match r with
+              | Ok Os.Preempted -> drive true (budget - 1)
+              | Ok _ | Error _ -> ()
+          in
+          drive false 50;
+          ignore (Os.reclaim_enclave tb.Testbed.os ~eid)
+    in
+    let attest_scenario tb =
+      match Testbed.install_signing_enclave tb with
+      | Error _ -> ()
+      | Ok es ->
+          let target = Sanctorum.Image.of_program ~evbase:0x30000 exit_prog in
+          (match Os.install_enclave tb.Testbed.os target with
+          | Error _ -> ()
+          | Ok t1 ->
+              ignore
+                (Sanctorum.Attestation.run_remote_attestation tb.Testbed.sm
+                   ~rng:tb.Testbed.rng ~eid:t1.Os.eid ~es_eid:es.Os.eid
+                   ~expected_measurement:(Sanctorum.Image.measurement target)))
+    in
+    let churn_scenario tb =
+      let image = Sanctorum.Image.of_program ~evbase:0x10000 exit_prog in
+      for _ = 1 to 3 do
+        match Os.install_enclave tb.Testbed.os image with
+        | Error _ -> ()
+        | Ok inst ->
+            ignore
+              (Os.run_enclave tb.Testbed.os ~eid:inst.Os.eid
+                 ~tid:(List.hd inst.Os.tids) ~core:0 ~fuel:1000 ());
+            ignore (Os.reclaim_enclave tb.Testbed.os ~eid:inst.Os.eid)
+      done
+    in
+    Printf.printf "\nscenarios (snapshot after every API call + trace passes):\n";
+    List.iter
+      (fun backend ->
+        scenario backend "run+preempt" run_scenario;
+        scenario backend "attest" attest_scenario;
+        scenario backend "lifecycle-churn" churn_scenario)
+      [ Testbed.Sanctum_backend; Testbed.Keystone_backend ];
+    if !failures = 0 then Printf.printf "all scenarios clean\n"
+    else begin
+      Printf.printf "%d violations\n" !failures;
+      exit 1
+    end
+  end
 
 open Cmdliner
 
@@ -254,8 +400,18 @@ let tel_term =
           ~doc:"Print the SM audit log: every API decision, accepted or \
                 rejected.")
   in
-  let mk trace trace_jsonl metrics audit = { trace; trace_jsonl; metrics; audit } in
-  Term.(const mk $ trace $ trace_jsonl $ metrics $ audit)
+  let check_invariants =
+    Arg.(
+      value & flag
+      & info [ "check-invariants" ]
+          ~doc:
+            "Run the $(b,Sanctorum_analysis) snapshot checker after every \
+             monitor API call and abort (exit 2) on the first violation.")
+  in
+  let mk trace trace_jsonl metrics audit check_invariants =
+    { trace; trace_jsonl; metrics; audit; check_invariants }
+  in
+  Term.(const mk $ trace $ trace_jsonl $ metrics $ audit $ check_invariants)
 
 let boot_cmd =
   Cmd.v (Cmd.info "boot" ~doc:"Boot the stack and print the monitor's identity.")
@@ -283,6 +439,19 @@ let probe_cmd =
   Cmd.v (Cmd.info "probe" ~doc:"Malicious-OS probes against enclave memory.")
     Term.(const cmd_probe $ tel_term $ backend_arg)
 
+let check_cmd =
+  let catalog_only =
+    Arg.(
+      value & flag
+      & info [ "catalog" ] ~doc:"Only print the invariant catalog and exit.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run every invariant of the analysis catalog over the canonical \
+          scenarios on both backends; non-zero exit on any violation.")
+    Term.(const cmd_check $ catalog_only)
+
 let leak_cmd =
   let secret =
     Arg.(value & opt int 5 & info [ "secret"; "s" ] ~doc:"Victim secret, 0-7.")
@@ -296,4 +465,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default:run_term
           (Cmd.info "sanctorum_demo" ~doc)
-          [ boot_cmd; run_cmd; attest_cmd; probe_cmd; leak_cmd ]))
+          [ boot_cmd; run_cmd; attest_cmd; probe_cmd; leak_cmd; check_cmd ]))

@@ -1,0 +1,17 @@
+(** The snapshot invariant checker.
+
+    Cross-checks a quiescent monitor (between API calls) against the
+    platform owner map and the simulated machine: DRAM-region ownership
+    (Fig. 2 vs hardware), full Sv39 walks of every enclave's private
+    page tables (§V-C), TLB/cache flush residue (§IV-B2), the
+    enclave/thread state machines (Figs. 3–4), metadata-slot
+    confinement (§V-B), core domain registers, and lock quiescence
+    (§V-A). Read-only: never takes locks, emits telemetry, or mutates
+    state, so it is safe to run from {!Sanctorum.Sm.set_post_api_hook}.
+
+    Invariant ids reported here: [own.exclusive], [own.sm-reserved],
+    [pt.confined], [pt.no-alias], [tlb.no-stale], [cache.no-residue],
+    [enclave.lifecycle], [thread.lifecycle], [core.domain],
+    [meta.slots], [lock.quiescent]. *)
+
+val check : Sanctorum.Sm.t -> Report.violation list

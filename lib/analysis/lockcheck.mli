@@ -1,0 +1,10 @@
+(** The lock-discipline analyzer (§V-A).
+
+    A lockset pass over a telemetry trace: tracks
+    [Lock_acquired]/[Lock_released] pairs and checks that every
+    [Guarded_write] happens under its lock ([lock.guard]), that no lock
+    survives an API return or the end of the trace ([lock.leak]), and
+    that the observed acquisition order between lock classes
+    (resource, enclave, thread) is acyclic ([lock.order]). *)
+
+val check : Sanctorum_telemetry.Event.t list -> Report.violation list

@@ -1,0 +1,12 @@
+(** The API-orderliness lint.
+
+    A pure pass over a telemetry trace that flags illegal SM API
+    sequences independent of monitor state: double create
+    ([order.create]), init before create or double init ([order.init]),
+    enter before init ([order.enter]), exit without enter
+    ([order.exit]), destroy while entered ([order.destroy]), double
+    grant without free ([order.grant]), AEX resume with no AEX pending
+    ([order.aex-resume]), and mailbox receive without a matching send
+    ([order.mailbox]). *)
+
+val check : Sanctorum_telemetry.Event.t list -> Report.violation list

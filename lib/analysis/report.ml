@@ -1,0 +1,23 @@
+type severity = Critical | Warning
+
+type violation = {
+  id : string;
+  severity : severity;
+  subject : string;
+  detail : string;
+}
+
+let v ?(severity = Critical) id ~subject detail =
+  { id; severity; subject; detail }
+
+let pp_severity ppf = function
+  | Critical -> Format.pp_print_string ppf "critical"
+  | Warning -> Format.pp_print_string ppf "warning"
+
+let pp ppf t =
+  Format.fprintf ppf "[%a] %-18s %s: %s" pp_severity t.severity t.id t.subject
+    t.detail
+
+let pp_list ppf = function
+  | [] -> Format.fprintf ppf "no violations@."
+  | vs -> List.iter (fun v -> Format.fprintf ppf "%a@." pp v) vs

@@ -1,0 +1,23 @@
+(** Structured violation reports shared by every analysis pass.
+
+    A violation names the invariant it breaks (a stable id from
+    {!Checker.catalog}), how bad it is, the object it concerns and a
+    human-readable witness. *)
+
+type severity = Critical | Warning
+
+type violation = {
+  id : string;  (** catalog id, e.g. ["own.exclusive"] *)
+  severity : severity;
+  subject : string;  (** the object concerned, e.g. ["unit 12"] *)
+  detail : string;  (** the witness: what was observed vs expected *)
+}
+
+val v : ?severity:severity -> string -> subject:string -> string -> violation
+(** [v id ~subject detail] builds a violation; severity defaults to
+    [Critical]. *)
+
+val pp : Format.formatter -> violation -> unit
+
+val pp_list : Format.formatter -> violation list -> unit
+(** One violation per line; prints ["no violations"] when empty. *)

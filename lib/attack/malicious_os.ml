@@ -63,6 +63,27 @@ let dma_write os ~paddr ~data =
   | Ok () -> `Stored
   | Error _ -> `Denied
 
+let relax_protections os ~eid =
+  (* Model a buggy or subverted isolation primitive: the enclave's
+     first memory unit silently reverts to the untrusted domain while
+     the monitor's metadata still records it as enclave-owned. The
+     probes above then leak, and the analysis layer's ownership
+     invariant must flag the divergence. *)
+  let sm = Os.sm os in
+  match Sanctorum.Sm.enclave_domain sm ~eid with
+  | Error _ -> false
+  | Ok domain ->
+      let pf = Sanctorum.Sm.platform sm in
+      let unit_bytes = Sanctorum.Sm.memory_unit_bytes sm in
+      let ranges = pf.Sanctorum_platform.Platform.ranges_of_domain domain in
+      (match ranges with
+      | [] -> false
+      | (lo, _) :: _ ->
+          let lo = lo - (lo mod unit_bytes) in
+          Result.is_ok
+            (pf.Sanctorum_platform.Platform.assign_range ~lo
+               ~hi:(lo + unit_bytes) Hw.Trap.domain_untrusted))
+
 let enclave_paddrs os ~eid =
   let sm = Os.sm os in
   match Sanctorum.Sm.enclave_domain sm ~eid with

@@ -23,6 +23,14 @@ val dma_read : Sanctorum_os.Os.t -> paddr:int -> len:int ->
 val dma_write : Sanctorum_os.Os.t -> paddr:int -> data:string ->
   [ `Denied | `Stored ]
 
+val relax_protections : Sanctorum_os.Os.t -> eid:int -> bool
+(** Model a subverted isolation primitive: silently revert the
+    enclave's first memory unit to the untrusted domain behind the
+    monitor's back. Afterwards {!os_load} leaks where it was denied,
+    and the [Sanctorum_analysis] checker must report the
+    [own.exclusive] divergence. Returns [false] if the enclave owns no
+    memory. *)
+
 val enclave_paddrs : Sanctorum_os.Os.t -> eid:int -> int list
 (** Physical pages currently owned by the enclave's domain — what the
     OS (which allocated them) knows to aim at. *)

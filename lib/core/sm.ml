@@ -62,6 +62,7 @@ type t = {
   mutable os_handler : Hw.Machine.core -> Hw.Trap.cause -> unit;
   mutable resource_lock : bool;
   mutable sink : Tel.Sink.t;
+  mutable post_api_hook : (api:string -> unit) option;
 }
 
 let binary_image =
@@ -90,35 +91,82 @@ let memory_unit_bytes t = t.unit_bytes
 let set_os_trap_handler t f = t.os_handler <- f
 
 (* ------------------------------------------------------------------ *)
-(* Locking: every API call is a transaction under fine-grained locks;
-   a held lock aborts the call with [Concurrent_call] (§V-A). *)
+(* Telemetry plumbing used below. API events carry cycle timestamps
+   from the machine (host-context actions run natively, so [core] is -1
+   unless a specific core is known). With the default null sink every
+   instrumented point is one boolean test. *)
 
-let with_flag get set f =
+let caller_label = function
+  | Os -> "os"
+  | Enclave_caller eid -> Printf.sprintf "enclave:0x%x" eid
+
+let sm_now t = Hw.Machine.now t.machine
+
+let emit t ?(core = -1) payload =
+  Tel.Sink.emit t.sink ~core ~cycles:(sm_now t) payload
+
+(* ------------------------------------------------------------------ *)
+(* Locking: every API call is a transaction under fine-grained locks;
+   a held lock aborts the call with [Concurrent_call] (§V-A). Lock
+   names as seen by the lock-discipline analyzer: ["resource"],
+   ["enclave:0x<eid>"], ["thread:0x<tid>"]. *)
+
+let resource_lock_name = "resource"
+let enclave_lock_name eid = Printf.sprintf "enclave:0x%x" eid
+let thread_lock_name tid = Printf.sprintf "thread:0x%x" tid
+
+let emit_lock t name acquired =
+  if Tel.Sink.enabled t.sink then
+    emit t
+      (if acquired then Tel.Event.Lock_acquired { lock = name }
+       else Tel.Event.Lock_released { lock = name })
+
+let note_write t ~lock ~field =
+  if Tel.Sink.enabled t.sink then emit t (Tel.Event.Guarded_write { lock; field })
+
+let with_flag t name get set f =
   if get () then Error Api_error.Concurrent_call
   else begin
     set true;
-    Fun.protect ~finally:(fun () -> set false) f
+    emit_lock t name true;
+    Fun.protect
+      ~finally:(fun () ->
+        set false;
+        emit_lock t name false)
+      f
   end
 
-let with_enclave_lock e f =
-  with_flag (fun () -> e.e_lock) (fun v -> e.e_lock <- v) f
+let with_enclave_lock t e f =
+  with_flag t (enclave_lock_name e.eid)
+    (fun () -> e.e_lock)
+    (fun v -> e.e_lock <- v)
+    f
 
-let with_thread_lock th f =
-  with_flag (fun () -> th.t_lock) (fun v -> th.t_lock <- v) f
+let with_thread_lock t th f =
+  with_flag t (thread_lock_name th.tid)
+    (fun () -> th.t_lock)
+    (fun v -> th.t_lock <- v)
+    f
 
 let with_resource_lock t f =
-  with_flag (fun () -> t.resource_lock) (fun v -> t.resource_lock <- v) f
+  with_flag t resource_lock_name
+    (fun () -> t.resource_lock)
+    (fun v -> t.resource_lock <- v)
+    f
 
 let try_lock_enclave t ~eid =
   match Hashtbl.find_opt t.enclaves eid with
   | Some e when not e.e_lock ->
       e.e_lock <- true;
+      emit_lock t (enclave_lock_name eid) true;
       true
   | Some _ | None -> false
 
 let unlock_enclave t ~eid =
   match Hashtbl.find_opt t.enclaves eid with
-  | Some e -> e.e_lock <- false
+  | Some e ->
+      if e.e_lock then emit_lock t (enclave_lock_name eid) false;
+      e.e_lock <- false
   | None -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -154,22 +202,21 @@ let enclaves t =
   Hashtbl.fold (fun eid _ acc -> eid :: acc) t.enclaves [] |> List.sort compare
 
 (* ------------------------------------------------------------------ *)
-(* Telemetry. API events carry cycle timestamps from the machine
-   (host-context actions run natively, so [core] is -1 unless a
-   specific core is known). With the default null sink [traced] is one
-   boolean test around the wrapped call. *)
+(* API-call tracing. With the default null sink [traced] is one
+   boolean test around the wrapped call (plus the post-API hook test,
+   see below). *)
 
-let caller_label = function
-  | Os -> "os"
-  | Enclave_caller eid -> Printf.sprintf "enclave:0x%x" eid
+let run_post_api_hook t api =
+  match t.post_api_hook with None -> () | Some hook -> hook ~api
 
-let sm_now t = Hw.Machine.now t.machine
-
-let emit t ?(core = -1) payload =
-  Tel.Sink.emit t.sink ~core ~cycles:(sm_now t) payload
+let set_post_api_hook t hook = t.post_api_hook <- hook
 
 let traced t ~caller api f =
-  if not (Tel.Sink.enabled t.sink) then f ()
+  if not (Tel.Sink.enabled t.sink) then begin
+    let result = f () in
+    run_post_api_hook t api;
+    result
+  end
   else begin
     let t0 = sm_now t in
     let result = f () in
@@ -186,6 +233,7 @@ let traced t ~caller api f =
     Tel.Sink.observe t.sink "sm.api.latency" latency;
     Tel.Sink.emit t.sink ~core:(-1) ~cycles:t1
       (Tel.Event.Sm_api { api; caller = caller_label caller; outcome; latency });
+    run_post_api_hook t api;
     result
   end
 
@@ -406,7 +454,7 @@ let extend_measurement e f =
 let allocate_page_table t ~caller ~eid ~vaddr ~level =
   let* () = require_os caller in
   let* e = find_enclave t eid in
-  with_enclave_lock e (fun () ->
+  with_enclave_lock t e (fun () ->
       let* () = require_loading e in
       if level < 0 || level >= Hw.Page_table.levels then
         err_arg "bad page-table level"
@@ -438,7 +486,7 @@ let allocate_page_table t ~caller ~eid ~vaddr ~level =
 let load_page t ~caller ~eid ~vaddr ~src_paddr ~r ~w ~x =
   let* () = require_os caller in
   let* e = find_enclave t eid in
-  with_enclave_lock e (fun () ->
+  with_enclave_lock t e (fun () ->
       let* () = require_loading e in
       if vaddr mod page <> 0 || not (in_evrange e ~vaddr ~len:page) then
         err_arg "load_page: vaddr must be a page inside evrange"
@@ -470,7 +518,7 @@ let load_page t ~caller ~eid ~vaddr ~src_paddr ~r ~w ~x =
 let map_shared t ~caller ~eid ~vaddr ~src_paddr ~len =
   let* () = require_os caller in
   let* e = find_enclave t eid in
-  with_enclave_lock e (fun () ->
+  with_enclave_lock t e (fun () ->
       let* () = require_loading e in
       if
         vaddr mod page <> 0 || src_paddr mod page <> 0 || len <= 0
@@ -513,7 +561,7 @@ let map_shared t ~caller ~eid ~vaddr ~src_paddr ~len =
 let load_thread t ~caller ~eid ~tid ~entry_pc ~entry_sp =
   let* () = require_os caller in
   let* e = find_enclave t eid in
-  with_enclave_lock e (fun () ->
+  with_enclave_lock t e (fun () ->
       let* () = require_loading e in
       if Hashtbl.mem t.threads tid then err_state "thread id already in use"
       else begin
@@ -539,7 +587,7 @@ let load_thread t ~caller ~eid ~tid ~entry_pc ~entry_sp =
 let init_enclave t ~caller ~eid =
   let* () = require_os caller in
   let* e = find_enclave t eid in
-  with_enclave_lock e (fun () ->
+  with_enclave_lock t e (fun () ->
       let* () = require_loading e in
       match e.root_ppn with
       | None -> err_state "init_enclave: no page tables"
@@ -547,6 +595,7 @@ let init_enclave t ~caller ~eid =
           match e.meas_ctx with
           | None -> err_state "measurement already finalized"
           | Some ctx ->
+              note_write t ~lock:(enclave_lock_name eid) ~field:"lifecycle";
               e.measurement <- Some (Measurement.finalize ctx);
               e.meas_ctx <- None;
               e.lifecycle <- Initialized;
@@ -556,7 +605,7 @@ let init_enclave t ~caller ~eid =
 let delete_enclave t ~caller ~eid =
   let* () = require_os caller in
   let* e = find_enclave t eid in
-  with_enclave_lock e (fun () ->
+  with_enclave_lock t e (fun () ->
       let busy =
         List.exists
           (fun tid ->
@@ -631,9 +680,10 @@ let assign_thread t ~caller ~eid ~tid =
   let* () = require_os caller in
   let* _e = find_enclave t eid in
   let* th = find_thread t tid in
-  with_thread_lock th (fun () ->
+  with_thread_lock t th (fun () ->
       match th.phase with
       | T_available ->
+          note_write t ~lock:(thread_lock_name tid) ~field:"t_offered";
           th.t_offered <- Some eid;
           ok
       | T_assigned | T_running _ -> err_state "assign_thread: thread is not available")
@@ -641,9 +691,10 @@ let assign_thread t ~caller ~eid ~tid =
 let accept_thread t ~caller ~tid ?(entry_pc = 0L) ?(entry_sp = 0L) () =
   let* e = require_enclave t caller in
   let* th = find_thread t tid in
-  with_thread_lock th (fun () ->
+  with_thread_lock t th (fun () ->
       match th.t_offered with
       | Some eid when eid = e.eid ->
+          note_write t ~lock:(thread_lock_name tid) ~field:"phase";
           th.t_offered <- None;
           th.t_owner <- Some e.eid;
           th.phase <- T_assigned;
@@ -657,9 +708,10 @@ let accept_thread t ~caller ~tid ?(entry_pc = 0L) ?(entry_sp = 0L) () =
 let release_thread t ~caller ~tid =
   let* e = require_enclave t caller in
   let* th = find_thread t tid in
-  with_thread_lock th (fun () ->
+  with_thread_lock t th (fun () ->
       match (th.phase, th.t_owner) with
       | T_assigned, Some owner when owner = e.eid ->
+          note_write t ~lock:(thread_lock_name tid) ~field:"phase";
           th.t_owner <- None;
           th.phase <- T_available;
           th.aex_state <- None;
@@ -672,13 +724,14 @@ let release_thread t ~caller ~tid =
 let unassign_thread t ~caller ~tid =
   let* () = require_os caller in
   let* th = find_thread t tid in
-  with_thread_lock th (fun () ->
+  with_thread_lock t th (fun () ->
       match (th.phase, th.t_owner) with
       | T_running _, _ -> err_state "unassign_thread: thread is running"
       | _, Some owner when Hashtbl.mem t.enclaves owner ->
           (* The OS cannot rip a live enclave's thread away. *)
           Error Api_error.Unauthorized
       | _, (Some _ | None) ->
+          note_write t ~lock:(thread_lock_name tid) ~field:"phase";
           th.t_owner <- None;
           th.t_offered <- None;
           th.phase <- T_available;
@@ -688,7 +741,7 @@ let unassign_thread t ~caller ~tid =
 let delete_thread t ~caller ~tid =
   let* () = require_os caller in
   let* th = find_thread t tid in
-  with_thread_lock th (fun () ->
+  with_thread_lock t th (fun () ->
       match th.phase with
       | T_available ->
           Hashtbl.remove t.threads tid;
@@ -711,10 +764,10 @@ let running_thread_on t core_id =
 let enter_enclave t ~caller ~eid ~tid ~core =
   let* () = require_os caller in
   let* e = find_enclave t eid in
-  with_enclave_lock e (fun () ->
+  with_enclave_lock t e (fun () ->
       let* () = require_initialized e in
       let* th = find_thread t tid in
-      with_thread_lock th (fun () ->
+      with_thread_lock t th (fun () ->
           if core < 0 || core >= Hw.Machine.core_count t.machine then
             err_arg "no such core"
           else begin
@@ -741,6 +794,7 @@ let enter_enclave t ~caller ~eid ~tid ~core =
                   Hw.Machine.write_reg c Hw.Isa.a0
                     (if th.aex_state <> None then 1L else 0L);
                   c.Hw.Machine.halted <- false;
+                  note_write t ~lock:(thread_lock_name tid) ~field:"phase";
                   th.phase <- T_running core;
                   ok
               | (T_assigned | T_running _ | T_available), _ ->
@@ -767,10 +821,12 @@ let exit_enclave t ~caller ~core =
       match running_thread_on t core with
       | None -> err_state "exit_enclave: no thread is running here"
       | Some th ->
-          th.phase <- T_assigned;
-          th.aex_state <- None;
-          scrub_core t c;
-          ok
+          with_thread_lock t th (fun () ->
+              note_write t ~lock:(thread_lock_name th.tid) ~field:"phase";
+              th.phase <- T_assigned;
+              th.aex_state <- None;
+              scrub_core t c;
+              ok)
     end
   end
 
@@ -789,12 +845,13 @@ let aex_dump_bytes = 32 * 8
 let read_aex_state t ~caller ~tid =
   let* e = require_enclave t caller in
   let* th = find_thread t tid in
-  with_thread_lock th (fun () ->
+  with_thread_lock t th (fun () ->
       if th.t_owner <> Some e.eid then Error Api_error.Unauthorized
       else begin
         match th.aex_state with
         | None -> err_state "no AEX state is pending"
         | Some dump ->
+            note_write t ~lock:(thread_lock_name tid) ~field:"aex_state";
             th.aex_state <- None;
             let b = Bytes.create aex_dump_bytes in
             for i = 1 to 31 do
@@ -840,7 +897,7 @@ let sender_of_caller = function
 let accept_mail t ~caller ~sender =
   let* e = require_enclave t caller in
   let* () = require_initialized e in
-  with_enclave_lock e (fun () -> Mailbox.accept e.mailboxes ~sender)
+  with_enclave_lock t e (fun () -> Mailbox.accept e.mailboxes ~sender)
 
 let send_mail t ~caller ~recipient ~msg =
   let* r = find_enclave t recipient in
@@ -850,13 +907,13 @@ let send_mail t ~caller ~recipient ~msg =
     | Some m -> Ok m
     | None -> err_state "sender has no measurement yet"
   in
-  with_enclave_lock r (fun () ->
+  with_enclave_lock t r (fun () ->
       Mailbox.deposit r.mailboxes ~sender:(sender_of_caller caller)
         ~sender_measurement:meas ~msg)
 
 let get_mail t ~caller ~sender =
   let* e = require_enclave t caller in
-  with_enclave_lock e (fun () -> Mailbox.retrieve e.mailboxes ~sender)
+  with_enclave_lock t e (fun () -> Mailbox.retrieve e.mailboxes ~sender)
 
 (* ------------------------------------------------------------------ *)
 (* Attestation support (§VI) *)
@@ -948,7 +1005,9 @@ let load_thread t ~caller ~eid ~tid ~entry_pc ~entry_sp =
       load_thread t ~caller ~eid ~tid ~entry_pc ~entry_sp)
 
 let init_enclave t ~caller ~eid =
-  traced t ~caller "init_enclave" (fun () -> init_enclave t ~caller ~eid)
+  on_ok
+    (traced t ~caller "init_enclave" (fun () -> init_enclave t ~caller ~eid))
+    (fun () -> emit t (Tel.Event.Enclave_initialized { eid }))
 
 let delete_enclave t ~caller ~eid =
   on_ok
@@ -1255,6 +1314,7 @@ let boot ~platform:pf ~identity ~signing_enclave_measurement =
           core.Hw.Machine.halted <- true);
       resource_lock = false;
       sink = Tel.Sink.null;
+      post_api_hook = None;
     }
   in
   Hw.Machine.set_trap_handler machine (fun m c cause -> on_trap t m c cause);
@@ -1269,3 +1329,114 @@ let sink t = t.sink
 let mailbox_stats t ~eid =
   let* e = find_enclave t eid in
   Ok (Mailbox.stats e.mailboxes)
+
+(* ------------------------------------------------------------------ *)
+(* Read-only introspection for external checkers (Sanctorum_analysis).
+   These deliberately bypass [traced]: a checker installed as a
+   post-API hook must not itself generate API events or recurse. *)
+
+type enclave_info = {
+  i_eid : int;
+  i_domain : Hw.Trap.domain;
+  i_evbase : int;
+  i_evsize : int;
+  i_initialized : bool;
+  i_has_measurement : bool;
+  i_measuring : bool;
+  i_root_ppn : int option;
+  i_free_pages : int list;
+  i_threads : int list;
+  i_mappings : (int * int) list;
+  i_locked : bool;
+}
+
+type thread_info = {
+  i_tid : int;
+  i_owner : int option;
+  i_offered : int option;
+  i_phase : [ `Available | `Assigned | `Running of int ];
+  i_has_aex : bool;
+  i_thread_locked : bool;
+}
+
+let enclave_info t ~eid =
+  Option.map
+    (fun e ->
+      {
+        i_eid = e.eid;
+        i_domain = e.domain;
+        i_evbase = e.evbase;
+        i_evsize = e.evsize;
+        i_initialized = (e.lifecycle = Initialized);
+        i_has_measurement = e.measurement <> None;
+        i_measuring = e.meas_ctx <> None;
+        i_root_ppn = e.root_ppn;
+        i_free_pages = e.free_pages;
+        i_threads = List.sort compare e.threads;
+        i_mappings =
+          Hashtbl.fold (fun vpn ppn acc -> (vpn, ppn) :: acc) e.vmap []
+          |> List.sort compare;
+        i_locked = e.e_lock;
+      })
+    (Hashtbl.find_opt t.enclaves eid)
+
+let thread_ids t =
+  Hashtbl.fold (fun tid _ acc -> tid :: acc) t.threads [] |> List.sort compare
+
+let thread_info t ~tid =
+  Option.map
+    (fun th ->
+      {
+        i_tid = th.tid;
+        i_owner = th.t_owner;
+        i_offered = th.t_offered;
+        i_phase =
+          (match th.phase with
+          | T_available -> `Available
+          | T_assigned -> `Assigned
+          | T_running core -> `Running core);
+        i_has_aex = th.aex_state <> None;
+        i_thread_locked = th.t_lock;
+      })
+    (Hashtbl.find_opt t.threads tid)
+
+let metadata_slots t =
+  Hashtbl.fold (fun addr len acc -> (addr, len) :: acc) t.slots []
+  |> List.sort compare
+
+let held_locks t =
+  let acc = if t.resource_lock then [ resource_lock_name ] else [] in
+  let acc =
+    Hashtbl.fold
+      (fun eid e acc -> if e.e_lock then enclave_lock_name eid :: acc else acc)
+      t.enclaves acc
+  in
+  Hashtbl.fold
+    (fun tid th acc ->
+      if th.t_lock then thread_lock_name tid :: acc else acc)
+    t.threads acc
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection (tests only): break one internal invariant so the
+   analysis layer can demonstrate that its checker fires. None of
+   these are reachable through the API surface. *)
+
+let corrupt_enclave_lifecycle t ~eid =
+  match Hashtbl.find_opt t.enclaves eid with
+  | None -> ()
+  | Some e -> (
+      match e.lifecycle with
+      | Loading -> e.lifecycle <- Initialized
+      | Initialized -> e.lifecycle <- Loading)
+
+let corrupt_thread_phase t ~tid ~core =
+  match Hashtbl.find_opt t.threads tid with
+  | None -> ()
+  | Some th -> th.phase <- T_running core
+
+let corrupt_metadata_slot t =
+  Hashtbl.replace t.slots (metadata_limit t) 16
+
+let corrupt_resource_owner t ~rid domain =
+  Resource.force_owner t.resources Resource.Memory_resource ~rid domain

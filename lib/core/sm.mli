@@ -66,6 +66,14 @@ val set_sink : t -> Sanctorum_telemetry.Sink.t -> unit
 
 val sink : t -> Sanctorum_telemetry.Sink.t
 
+val set_post_api_hook : t -> (api:string -> unit) option -> unit
+(** Install (or clear) a callback invoked after {e every} public API
+    call returns, whether the sink is enabled or not. Used by
+    [Sanctorum_analysis] to run the invariant checker after each call
+    ([--check-invariants]). The hook must only use the read-only
+    introspection accessors below — calling API entry points from the
+    hook would recurse. *)
+
 val mailbox_stats : t -> eid:int -> (int * int * int) Api_error.result
 (** [(deposited, retrieved, rejected)] for the enclave's mailbox set. *)
 
@@ -240,6 +248,49 @@ val get_signing_key :
 (** Released only to the enclave whose measurement equals the hard-coded
     signing-enclave measurement (§VI-C). *)
 
+(** {2 Read-only introspection}
+
+    Snapshot views of the monitor's internal metadata for external
+    checkers ([Sanctorum_analysis]) and debugging tools. None of these
+    take locks, emit telemetry, or mutate state. *)
+
+type enclave_info = {
+  i_eid : int;
+  i_domain : Sanctorum_hw.Trap.domain;
+  i_evbase : int;
+  i_evsize : int;
+  i_initialized : bool;
+  i_has_measurement : bool;
+  i_measuring : bool;  (** a measurement context is still open *)
+  i_root_ppn : int option;
+  i_free_pages : int list;
+  i_threads : int list;
+  i_mappings : (int * int) list;  (** (vpn, ppn), sorted *)
+  i_locked : bool;
+}
+
+type thread_info = {
+  i_tid : int;
+  i_owner : int option;
+  i_offered : int option;
+  i_phase : [ `Available | `Assigned | `Running of int ];
+  i_has_aex : bool;
+  i_thread_locked : bool;
+}
+
+val enclave_info : t -> eid:int -> enclave_info option
+val thread_ids : t -> int list
+val thread_info : t -> tid:int -> thread_info option
+
+val metadata_slots : t -> (int * int) list
+(** Claimed metadata slots as sorted [(addr, len)] pairs; all must lie
+    inside [[metadata_base, metadata_limit)] and never overlap. *)
+
+val held_locks : t -> string list
+(** Names of every fine-grained lock currently held (should be empty
+    between API calls): ["resource"], ["enclave:0x<eid>"],
+    ["thread:0x<tid>"]. *)
+
 (** {2 Test and experiment hooks} *)
 
 val try_lock_enclave : t -> eid:int -> bool
@@ -251,6 +302,24 @@ val unlock_enclave : t -> eid:int -> unit
 val caller_measurement : t -> caller -> string option
 (** The measurement the monitor would record for messages sent by this
     caller. *)
+
+val corrupt_enclave_lifecycle : t -> eid:int -> unit
+(** Fault injection (tests only): flip the enclave's lifecycle state
+    without performing the transition's work, so the analysis layer's
+    [enclave.lifecycle] invariant fires. *)
+
+val corrupt_thread_phase : t -> tid:int -> core:int -> unit
+(** Fault injection (tests only): mark a thread running on [core]
+    without entering the enclave ([thread.lifecycle]). *)
+
+val corrupt_metadata_slot : t -> unit
+(** Fault injection (tests only): claim a metadata slot outside the
+    monitor's metadata window ([meta.slots]). *)
+
+val corrupt_resource_owner : t -> rid:int -> Sanctorum_hw.Trap.domain -> unit
+(** Fault injection (tests only): rewrite a memory unit's Fig. 2 state
+    to [Owned domain] without telling the hardware ([own.exclusive],
+    [own.sm-reserved]). *)
 
 (** {2 The ecall ABI (Fig. 1: API call via system exceptions)}
 

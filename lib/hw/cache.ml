@@ -79,6 +79,14 @@ let probe t ~paddr =
   let tag = tag_of t paddr in
   Array.exists (fun l -> l.valid && l.tag = tag) set
 
+let iter_tags t f =
+  Array.iteri
+    (fun set ways ->
+      Array.iter
+        (fun l -> if l.valid then f ~set ~paddr:(l.tag * t.cfg.line_bytes))
+        ways)
+    t.lines
+
 let flush_all t =
   Array.iter (fun set -> Array.iter (fun l -> l.valid <- false) set) t.lines
 

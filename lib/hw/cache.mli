@@ -36,6 +36,11 @@ val probe : t -> paddr:int -> bool
 (** Non-destructive lookup: would this access hit? (Used by attack
     oracles in tests; real attackers must use {!access} timing.) *)
 
+val iter_tags : t -> (set:int -> paddr:int -> unit) -> unit
+(** Read-only view of every valid line, for external checkers (the
+    [Sanctorum_analysis] flush-residue invariant). [paddr] is the first
+    byte of the cached line. Does not disturb LRU or statistics. *)
+
 val flush_all : t -> unit
 
 val flush_set : t -> int -> unit

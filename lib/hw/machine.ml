@@ -126,6 +126,11 @@ let l2 t = t.l2
 let cores t = t.cores
 let core t i = t.cores.(i)
 let core_count t = Array.length t.cores
+
+let active_root_ppns t =
+  Array.to_list t.cores
+  |> List.filter_map (fun c -> c.satp_root)
+  |> List.sort_uniq compare
 let set_phys_check t f = t.phys_check <- f
 let set_pte_fetch_check t f = t.pte_fetch_check <- f
 let set_dma_check t f = t.dma_check <- f

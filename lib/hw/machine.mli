@@ -48,6 +48,11 @@ val cores : t -> core array
 val core : t -> int -> core
 val core_count : t -> int
 
+val active_root_ppns : t -> int list
+(** Distinct page-table root PPNs currently installed in any core's
+    satp, sorted. Bare-addressing cores contribute nothing. For the
+    [Sanctorum_analysis] page-walk invariants. *)
+
 (** {2 Isolation hooks (installed by the platform backend)} *)
 
 val set_phys_check :

@@ -59,6 +59,11 @@ let flush t = Array.iter (fun e -> e.valid <- false) t.entries
 let flush_vpn t ~vpn =
   Array.iter (fun e -> if e.vpn = vpn then e.valid <- false) t.entries
 
+let iter_entries t f =
+  Array.iter
+    (fun e -> if e.valid then f ~vpn:e.vpn ~ppn:e.ppn ~perms:e.perms)
+    t.entries
+
 let entry_count t =
   Array.fold_left (fun n e -> if e.valid then n + 1 else n) 0 t.entries
 

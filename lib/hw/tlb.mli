@@ -22,6 +22,11 @@ val flush_vpn : t -> vpn:int -> unit
 val entry_count : t -> int
 (** Number of currently valid entries. *)
 
+val iter_entries : t -> (vpn:int -> ppn:int -> perms:perms -> unit) -> unit
+(** Read-only view of every valid entry, for external checkers (the
+    [Sanctorum_analysis] stale-translation invariant). Does not touch
+    hit/miss statistics or replacement state. *)
+
 val stats : t -> int * int
 (** (hits, misses) of {!lookup} since creation or [reset_stats]. *)
 

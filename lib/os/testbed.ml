@@ -46,3 +46,76 @@ let create ?(backend = Sanctum_backend) ?(cores = 4)
 
 let install_signing_enclave t =
   Os.install_enclave t.os Sanctorum.Attestation.signing_image
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection for the analysis layer's negative tests: each
+   helper breaks exactly one protection the monitor normally keeps, so
+   tests can prove the corresponding checker invariant fires. *)
+
+let page = Hw.Phys_mem.page_size
+
+let corrupt_owner_map t ~rid =
+  let unit_bytes = Sanctorum.Sm.memory_unit_bytes t.sm in
+  let lo = rid * unit_bytes in
+  ignore
+    (t.platform.Pf.Platform.assign_range ~lo ~hi:(lo + unit_bytes) 77)
+
+let leak_lock t ~eid = ignore (Sanctorum.Sm.try_lock_enclave t.sm ~eid)
+
+let skip_flush t ~eid =
+  (* Re-create what a missed shootdown leaves behind: core 0 (in
+     untrusted context) keeps a translation and a private cache line
+     for a frame the enclave's domain owns. *)
+  match Sanctorum.Sm.enclave_info t.sm ~eid with
+  | None -> ()
+  | Some info -> (
+      match t.platform.Pf.Platform.ranges_of_domain info.i_domain with
+      | [] -> ()
+      | (lo, _) :: _ ->
+          let c = Hw.Machine.core t.machine 0 in
+          Hw.Tlb.insert c.Hw.Machine.tlb ~vpn:(lo / page) ~ppn:(lo / page)
+            ~perms:{ Hw.Tlb.r = true; w = false; x = false; u = true };
+          ignore (Hw.Cache.access c.Hw.Machine.l1 ~paddr:lo))
+
+(* Overwrite the level-0 PTE for [vpn] so it points at [ppn]. *)
+let rewrite_leaf t ~root ~vpn ~ppn =
+  let mem = Hw.Machine.mem t.machine in
+  let rec leaf_table table level =
+    if level = 0 then Some table
+    else
+      let idx = (vpn lsr (9 * level)) land 511 in
+      let pte =
+        Hw.Phys_mem.read_u64 mem (Hw.Phys_mem.page_base table + (idx * 8))
+      in
+      match Hw.Page_table.decode_pte pte with
+      | Ok (child, _, false) -> leaf_table child (level - 1)
+      | Ok _ | Error () -> None
+  in
+  match leaf_table root (Hw.Page_table.levels - 1) with
+  | None -> ()
+  | Some table ->
+      let idx = vpn land 511 in
+      Hw.Phys_mem.write_u64 mem
+        (Hw.Phys_mem.page_base table + (idx * 8))
+        (Hw.Page_table.encode_pte ~ppn
+           ~perms:{ Hw.Page_table.r = true; w = true; x = false; u = true }
+           ~valid:true)
+
+let corrupt_page_table t ~eid =
+  match Sanctorum.Sm.enclave_info t.sm ~eid with
+  | Some { i_root_ppn = Some root; i_mappings = (vpn, _) :: _; _ } ->
+      (* point an evrange mapping at frame 0 — monitor memory *)
+      rewrite_leaf t ~root ~vpn ~ppn:0
+  | Some _ | None -> ()
+
+let alias_page_table t ~eid =
+  match Sanctorum.Sm.enclave_info t.sm ~eid with
+  | Some
+      { i_root_ppn = Some root; i_mappings = (_, ppn1) :: (vpn2, _) :: _; _ }
+    ->
+      rewrite_leaf t ~root ~vpn:vpn2 ~ppn:ppn1
+  | Some _ | None -> ()
+
+let corrupt_core_domain t ~core =
+  let c = Hw.Machine.core t.machine core in
+  c.Hw.Machine.domain <- 999

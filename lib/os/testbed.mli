@@ -32,3 +32,36 @@ val backend_name : backend -> string
 val install_signing_enclave : t -> (Os.installed, Sanctorum.Api_error.t) result
 (** Load the canonical signing enclave (§VI-C); its measurement matches
     the constant the monitor was booted with. *)
+
+(** {2 Fault injection}
+
+    Each helper breaks exactly one protection the monitor normally
+    maintains, so the negative tests in [test/] can prove that the
+    corresponding [Sanctorum_analysis] invariant actually fires. They
+    bypass the API surface entirely — none of these states is
+    reachable by software running on the machine. *)
+
+val corrupt_owner_map : t -> rid:int -> unit
+(** Hand memory unit [rid]'s hardware range to a domain the resource
+    state machine has never heard of ([own.exclusive]). *)
+
+val leak_lock : t -> eid:int -> unit
+(** Take the enclave's metadata lock and never release it
+    ([lock.quiescent], and [lock.leak] in traces). *)
+
+val skip_flush : t -> eid:int -> unit
+(** Simulate a missed shootdown: plant a TLB entry and an L1 line for
+    an enclave-owned frame on core 0 in untrusted context
+    ([tlb.no-stale], [cache.no-residue]). *)
+
+val corrupt_page_table : t -> eid:int -> unit
+(** Rewrite one of the enclave's leaf PTEs to reach monitor memory
+    ([pt.confined]). *)
+
+val alias_page_table : t -> eid:int -> unit
+(** Point two enclave virtual pages at the same physical frame
+    ([pt.no-alias]). Needs an enclave with at least two mapped pages. *)
+
+val corrupt_core_domain : t -> core:int -> unit
+(** Load a dead protection domain into a core's domain register
+    ([core.domain]). *)

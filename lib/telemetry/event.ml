@@ -10,6 +10,7 @@ type payload =
       latency : int;
     }
   | Enclave_created of { eid : int }
+  | Enclave_initialized of { eid : int }
   | Enclave_entered of { eid : int; tid : int; target_core : int }
   | Enclave_exited of { eid : int; aex : bool }
   | Enclave_destroyed of { eid : int }
@@ -20,6 +21,9 @@ type payload =
   | Mailbox_sent of { sender : string; recipient : int }
   | Mailbox_received of { recipient : int; sender : string }
   | Dma_transfer of { write : bool; paddr : int; len : int; granted : bool }
+  | Lock_acquired of { lock : string }
+  | Lock_released of { lock : string }
+  | Guarded_write of { lock : string; field : string }
 
 type t = { seq : int; core : int; cycles : int; payload : payload }
 
@@ -27,6 +31,7 @@ let label = function
   | Trap_enter { cause } | Trap_exit { cause } -> "trap:" ^ cause
   | Sm_api { api; _ } -> "sm:" ^ api
   | Enclave_created _ -> "enclave:create"
+  | Enclave_initialized _ -> "enclave:init"
   | Enclave_entered _ -> "enclave:enter"
   | Enclave_exited { aex = true; _ } -> "enclave:aex"
   | Enclave_exited { aex = false; _ } -> "enclave:exit"
@@ -39,6 +44,9 @@ let label = function
   | Mailbox_received _ -> "mailbox:receive"
   | Dma_transfer { write = true; _ } -> "hw:dma-write"
   | Dma_transfer { write = false; _ } -> "hw:dma-read"
+  | Lock_acquired _ -> "lock:acquire"
+  | Lock_released _ -> "lock:release"
+  | Guarded_write _ -> "lock:write"
 
 let category p =
   let l = label p in
@@ -50,9 +58,10 @@ let phase = function
   | Trap_enter _ -> `Begin
   | Trap_exit _ -> `End
   | Sm_api { latency; _ } -> `Complete latency
-  | Enclave_created _ | Enclave_entered _ | Enclave_exited _
-  | Enclave_destroyed _ | Region_granted _ | Region_freed _ | Domain_switch _
-  | Tlb_flush _ | Mailbox_sent _ | Mailbox_received _ | Dma_transfer _ ->
+  | Enclave_created _ | Enclave_initialized _ | Enclave_entered _
+  | Enclave_exited _ | Enclave_destroyed _ | Region_granted _ | Region_freed _
+  | Domain_switch _ | Tlb_flush _ | Mailbox_sent _ | Mailbox_received _
+  | Dma_transfer _ | Lock_acquired _ | Lock_released _ | Guarded_write _ ->
       `Instant
 
 let args = function
@@ -67,7 +76,8 @@ let args = function
         ("latency", string_of_int latency);
       ]
       @ (match outcome with Accepted -> [] | Rejected e -> [ ("error", e) ])
-  | Enclave_created { eid } -> [ ("eid", Printf.sprintf "0x%x" eid) ]
+  | Enclave_created { eid } | Enclave_initialized { eid } ->
+      [ ("eid", Printf.sprintf "0x%x" eid) ]
   | Enclave_entered { eid; tid; target_core } ->
       [
         ("eid", Printf.sprintf "0x%x" eid);
@@ -94,6 +104,8 @@ let args = function
         ("len", string_of_int len);
         ("granted", string_of_bool granted);
       ]
+  | Lock_acquired { lock } | Lock_released { lock } -> [ ("lock", lock) ]
+  | Guarded_write { lock; field } -> [ ("lock", lock); ("field", field) ]
 
 let pp ppf t =
   let core = if t.core < 0 then "host" else "c" ^ string_of_int t.core in

@@ -23,6 +23,8 @@ type payload =
       latency : int;  (** simulated cycles spent inside the call *)
     }
   | Enclave_created of { eid : int }
+  | Enclave_initialized of { eid : int }
+      (** [init_enclave] sealed the measurement; the enclave is runnable *)
   | Enclave_entered of { eid : int; tid : int; target_core : int }
   | Enclave_exited of { eid : int; aex : bool }
       (** [aex] is true for an asynchronous exit, false for a
@@ -35,6 +37,14 @@ type payload =
   | Mailbox_sent of { sender : string; recipient : int }
   | Mailbox_received of { recipient : int; sender : string }
   | Dma_transfer of { write : bool; paddr : int; len : int; granted : bool }
+  | Lock_acquired of { lock : string }
+      (** one of the monitor's fine-grained locks (§V-A) was taken;
+          [lock] is ["resource"], ["enclave:0x<eid>"] or
+          ["thread:0x<tid>"] *)
+  | Lock_released of { lock : string }
+  | Guarded_write of { lock : string; field : string }
+      (** a lock-guarded monitor field was mutated; consumed by the
+          lock-discipline analyzer in [Sanctorum_analysis] *)
 
 type t = {
   seq : int;  (** global emission order, assigned by the sink *)

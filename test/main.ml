@@ -18,4 +18,5 @@ let () =
       Test_dynamic.suite;
       Test_fuzz.suite;
       Test_telemetry.suite;
+      Test_analysis.suite;
     ]

@@ -164,6 +164,22 @@ let ownership_invariant tb =
   done;
   !ok
 
+(* The Sanctorum_analysis checker is a stronger version of the checks
+   above: after every step the whole-state snapshot pass must stay
+   silent, and at the end of the sequence so must the trace passes over
+   the recorded telemetry. [failwith] with the violation ids so qcheck
+   shrinks a failing sequence down to a minimal witness. *)
+let analysis_clean violations ~ctx =
+  match violations with
+  | [] -> ()
+  | vs ->
+      failwith
+        (Printf.sprintf "%s: %s" ctx
+           (String.concat "; "
+              (List.map
+                 (fun v -> v.Sanctorum_analysis.Report.id)
+                 vs)))
+
 let fuzz_roundtrip backend =
   QCheck2.Test.make
     ~name:("fuzz: invariants hold under random API storms ("
@@ -171,7 +187,8 @@ let fuzz_roundtrip backend =
     ~count:60
     QCheck2.Gen.(list_size (int_range 1 80) op_gen)
     (fun ops ->
-      let tb = Testbed.create ~backend () in
+      let sink = Sanctorum_telemetry.Sink.create ~capacity:(1 lsl 16) () in
+      let tb = Testbed.create ~backend ~sink () in
       (* keep measurements of any enclave that reaches Initialized *)
       let sealed : (int, string) Hashtbl.t = Hashtbl.create 4 in
       List.iter
@@ -187,8 +204,15 @@ let fuzz_roundtrip backend =
                   | Some m0 -> if m <> m0 then failwith "measurement changed"
                 end
               | Error _ -> Hashtbl.remove sealed eid)
-            (S.enclaves tb.Testbed.sm))
+            (S.enclaves tb.Testbed.sm);
+          analysis_clean
+            (Sanctorum_analysis.Checker.snapshot tb.Testbed.sm)
+            ~ctx:"snapshot")
         ops;
+      analysis_clean
+        (Sanctorum_analysis.Checker.trace
+           (Sanctorum_telemetry.Sink.events sink))
+        ~ctx:"trace";
       ownership_invariant tb)
 
 let suite =
