@@ -59,7 +59,12 @@ let () =
   let os = dir "lib/os" in
   let attack = dir "lib/attack" in
   let telemetry = dir "lib/telemetry" in
-  let total = core + crypto + hw + platform + util + os + attack + telemetry in
+  let analysis = dir "lib/analysis" in
+  let faults = dir "lib/faults" in
+  let total =
+    core + crypto + hw + platform + util + os + attack + telemetry + analysis
+    + faults
+  in
   Printf.printf "T1: trusted code base size (cf. paper §VII-A)\n";
   Printf.printf "%-34s %8s %14s\n" "component" "LOC" "paper analogue";
   let row name loc paper = Printf.printf "%-34s %8d %14s\n" name loc paper in
@@ -71,6 +76,8 @@ let () =
   row "untrusted OS model (lib/os)" os "(untrusted)";
   row "adversary models (lib/attack)" attack "(untrusted)";
   row "telemetry (lib/telemetry)" telemetry "(tooling)";
+  row "invariant checker (lib/analysis)" analysis "(tooling)";
+  row "fault injection (lib/faults)" faults "(tooling)";
   Printf.printf "%-34s %8d %14s\n" "total" total "5785";
   Printf.printf
     "\nTCB in this model = monitor core + crypto + platform glue = %d LOC\n"

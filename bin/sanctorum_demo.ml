@@ -5,6 +5,8 @@
      sanctorum_demo attest   [--backend ...]
      sanctorum_demo probe    [--backend ...]
      sanctorum_demo leak     [--backend ...] [--secret S]
+     sanctorum_demo chaos    [--backend ...] [--seed N] [--faults SPEC]
+                             [--rounds R]
 
    Every command also takes the telemetry flags
    [--trace out.json] [--trace-jsonl out.jsonl] [--metrics] [--audit];
@@ -242,6 +244,32 @@ let cmd_leak tel backend secret =
            "the attacker recovered the enclave's secret"
          else "no signal: the LLC partition holds")
 
+(* `sanctorum_demo chaos`: honest workloads under a seeded fault storm;
+   non-zero exit on any fail-open evidence or post-recovery finding.
+   Every failure reproduces from the command line echoed below. *)
+let cmd_chaos tel backend seed faults rounds =
+  match Sanctorum_faults.Spec.parse faults with
+  | Error msg ->
+      Printf.eprintf "sanctorum_demo chaos: --faults %S: %s\n" faults msg;
+      exit 124
+  | Ok spec ->
+      with_telemetry tel @@ fun sink ->
+      let seed = Int64.of_int seed in
+      let r =
+        Sanctorum_faults.Chaos.run ~backend ~rounds ?sink ~seed ~spec ()
+      in
+      Format.printf "%a" Sanctorum_faults.Chaos.pp r;
+      if not (Sanctorum_faults.Chaos.ok r) then begin
+        Printf.printf
+          "reproduce with: sanctorum_demo chaos --backend %s --seed %Ld \
+           --faults %s --rounds %d\n"
+          (Testbed.backend_name backend)
+          seed
+          (Sanctorum_faults.Spec.to_string spec)
+          rounds;
+        exit 1
+      end
+
 (* `sanctorum_demo check`: run the canonical scenarios on both backends
    with the full analysis harness armed — snapshot pass after every API
    call, lock-discipline and orderliness passes over the recorded trace
@@ -452,6 +480,38 @@ let check_cmd =
           scenarios on both backends; non-zero exit on any violation.")
     Term.(const cmd_check $ catalog_only)
 
+let chaos_cmd =
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Fault-schedule seed. The same seed, spec, backend and rounds \
+             always reproduce the same schedule and outcome.")
+  in
+  let faults =
+    Arg.(
+      value & opt string "all"
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Comma-separated fault classes, each optionally $(b,:count) — \
+             $(b,bitflip), $(b,bitflip2), $(b,irq-drop), $(b,spurious-irq), \
+             $(b,ipi-drop), $(b,dma), $(b,mce), or $(b,all). Example: \
+             $(b,bitflip:3,mce:1).")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 5
+      & info [ "rounds" ] ~docv:"R" ~doc:"Honest workload rounds to drive.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Drive honest enclave workloads under a seeded, deterministic fault \
+          storm; fail (exit 1) on any fail-open evidence or any invariant \
+          finding left after recovery.")
+    Term.(const cmd_chaos $ tel_term $ backend_arg $ seed $ faults $ rounds)
+
 let leak_cmd =
   let secret =
     Arg.(value & opt int 5 & info [ "secret"; "s" ] ~doc:"Victim secret, 0-7.")
@@ -465,4 +525,7 @@ let () =
     (Cmd.eval
        (Cmd.group ~default:run_term
           (Cmd.info "sanctorum_demo" ~doc)
-          [ boot_cmd; run_cmd; attest_cmd; probe_cmd; leak_cmd; check_cmd ]))
+          [
+            boot_cmd; run_cmd; attest_cmd; probe_cmd; leak_cmd; check_cmd;
+            chaos_cmd;
+          ]))

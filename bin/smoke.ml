@@ -7,6 +7,7 @@ let pp_outcome = function
   | Os.Preempted -> "preempted"
   | Os.Faulted c -> Format.asprintf "faulted (%a)" Hw.Trap.pp_cause c
   | Os.Fuel_exhausted -> "fuel exhausted"
+  | Os.Killed -> "killed"
 
 let () =
   let tb = Testbed.create () in

@@ -27,6 +27,9 @@ let catalog =
     ( "core.domain",
       "every core's domain register names a live domain and carries that \
        domain's translation root" );
+    ( "core.quarantine",
+      "a quarantined core is fenced: halted, timer disarmed, no pending \
+       interrupts — it can never execute again" );
     ( "meta.slots",
       "metadata slots stay inside the monitor's metadata window and never \
        overlap (§V-B)" );

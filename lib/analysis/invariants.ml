@@ -174,6 +174,12 @@ let check_page_tables ctx =
 let check_residue ctx =
   Array.iter
     (fun (c : Hw.Machine.core) ->
+      if c.Hw.Machine.quarantined then
+        (* A core quarantined after a shootdown timeout is unreachable:
+           its stale TLB and L1 contents can never be observed, so they
+           are exempt here ([check_cores] insists the core is halted). *)
+        ()
+      else
       let subject = Printf.sprintf "core %d" c.Hw.Machine.id in
       let allowed owner =
         owner = c.Hw.Machine.domain || owner = Hw.Trap.domain_untrusted
@@ -296,7 +302,21 @@ let check_cores ctx =
     (fun (c : Hw.Machine.core) ->
       let subject = Printf.sprintf "core %d" c.Hw.Machine.id in
       let d = c.Hw.Machine.domain in
-      if d = Hw.Trap.domain_sm || d = Hw.Trap.domain_untrusted then ()
+      if c.Hw.Machine.quarantined then begin
+        (* A quarantined core may hold a stale domain register (it was
+           unreachable when its domain died), but it must be fenced:
+           halted, with no interrupt that could ever wake it. *)
+        if not c.Hw.Machine.halted then
+          flag ctx "core.quarantine" ~subject
+            "quarantined core is not halted";
+        if c.Hw.Machine.pending_interrupts <> [] then
+          flag ctx "core.quarantine" ~subject
+            "quarantined core still has pending interrupts";
+        if c.Hw.Machine.timer_cmp <> None then
+          flag ctx "core.quarantine" ~subject
+            "quarantined core still has an armed timer"
+      end
+      else if d = Hw.Trap.domain_sm || d = Hw.Trap.domain_untrusted then ()
       else
         match
           List.find_opt

@@ -4,6 +4,7 @@ type t =
   | Concurrent_call
   | Invalid_state of string
   | Out_of_resources of string
+  | Internal_fault of string
 
 type 'a result = ('a, t) Stdlib.result
 
@@ -14,8 +15,9 @@ let equal a b =
   | Concurrent_call, Concurrent_call -> true
   | Invalid_state _, Invalid_state _ -> true
   | Out_of_resources _, Out_of_resources _ -> true
+  | Internal_fault _, Internal_fault _ -> true
   | ( (Illegal_argument _ | Unauthorized | Concurrent_call | Invalid_state _
-      | Out_of_resources _),
+      | Out_of_resources _ | Internal_fault _),
       _ ) ->
       false
 
@@ -25,5 +27,6 @@ let pp ppf = function
   | Concurrent_call -> Format.pp_print_string ppf "concurrent call"
   | Invalid_state m -> Format.fprintf ppf "invalid state: %s" m
   | Out_of_resources m -> Format.fprintf ppf "out of resources: %s" m
+  | Internal_fault m -> Format.fprintf ppf "internal fault: %s" m
 
 let to_string e = Format.asprintf "%a" pp e

@@ -13,6 +13,10 @@ type t =
       (** the target exists but is not in a state admitting this
           transition (Figs. 2–5) *)
   | Out_of_resources of string
+  | Internal_fault of string
+      (** the monitor hit an unexpected condition (a hardware fault, a
+          corrupted structure) mid-call and aborted: the call fails
+          closed instead of raising into untrusted code *)
 
 type 'a result = ('a, t) Stdlib.result
 

@@ -211,7 +211,18 @@ let run_post_api_hook t api =
 
 let set_post_api_hook t hook = t.post_api_hook <- hook
 
+(* Fail-closed guard: no monitor API entry may raise into untrusted
+   code. A call that trips an unexpected exception — metadata corrupted
+   by a hardware fault, a structure in a state no validation predicted —
+   aborts with [Internal_fault] instead of unwinding through the ABI.
+   [with_flag] releases its lock via [Fun.protect] before the exception
+   reaches this guard, so lock state stays consistent. *)
+let guard_api f =
+  try f ()
+  with exn -> Error (Api_error.Internal_fault (Printexc.to_string exn))
+
 let traced t ~caller api f =
+  let f () = guard_api f in
   if not (Tel.Sink.enabled t.sink) then begin
     let result = f () in
     run_post_api_hook t api;
@@ -491,6 +502,8 @@ let load_page t ~caller ~eid ~vaddr ~src_paddr ~r ~w ~x =
       if vaddr mod page <> 0 || not (in_evrange e ~vaddr ~len:page) then
         err_arg "load_page: vaddr must be a page inside evrange"
       else if src_paddr mod page <> 0 then err_arg "load_page: unaligned source"
+      else if src_paddr < 0 || src_paddr + page > Hw.Phys_mem.size (mem t) then
+        err_arg "load_page: source outside physical memory"
       else if
         t.pf.Pf.Platform.owner_at ~paddr:src_paddr <> Hw.Trap.domain_untrusted
       then err_arg "load_page: source must be untrusted memory"
@@ -526,6 +539,8 @@ let map_shared t ~caller ~eid ~vaddr ~src_paddr ~len =
       then err_arg "map_shared: page alignment required"
       else if vaddr < 0 || vaddr + len > max_vaddr then
         err_arg "map_shared: outside the virtual address space"
+      else if src_paddr < 0 || src_paddr + len > Hw.Phys_mem.size (mem t) then
+        err_arg "map_shared: source outside physical memory"
       else if vaddr + len > e.evbase && e.evbase + e.evsize > vaddr then
         err_arg "map_shared: window overlaps evrange"
       else begin
@@ -770,6 +785,8 @@ let enter_enclave t ~caller ~eid ~tid ~core =
       with_thread_lock t th (fun () ->
           if core < 0 || core >= Hw.Machine.core_count t.machine then
             err_arg "no such core"
+          else if (Hw.Machine.core t.machine core).Hw.Machine.quarantined then
+            err_state "enter_enclave: core is quarantined"
           else begin
             let c = Hw.Machine.core t.machine core in
             let* core_owner =
@@ -1102,6 +1119,7 @@ module Ecall = struct
     | Api_error.Concurrent_call -> 3L
     | Api_error.Invalid_state _ -> 4L
     | Api_error.Out_of_resources _ -> 5L
+    | Api_error.Internal_fault _ -> 6L
 end
 
 (* Copy bytes between monitor space and an enclave's virtual memory,
@@ -1218,8 +1236,119 @@ let handle_ecall t (c : Hw.Machine.core) e =
   end
   else finish (err_arg "unknown monitor call")
 
+(* ------------------------------------------------------------------ *)
+(* Machine-check containment. A core that takes an uncorrectable error
+   is lost: the monitor scrubs whatever is still reachable, reclaims
+   the resident enclave's resources so the rest of the machine keeps
+   serving, and retires the core. *)
+
+(* Forced teardown of an enclave the monitor can no longer trust —
+   the core it ran on died, or an uncorrectable error landed in its
+   memory. Mirrors [delete_enclave]'s semantics (units blocked by the
+   monitor, threads detached, slot released) but ignores locks (their
+   holder may be the dead core) and running threads (their context is
+   unrecoverable). *)
+let emergency_reclaim_enclave t eid =
+  match Hashtbl.find_opt t.enclaves eid with
+  | None -> ()
+  | Some e ->
+      List.iter
+        (fun rid ->
+          match
+            Resource.block t.resources Resource.Memory_resource ~rid
+              ~by:Hw.Trap.domain_sm
+          with
+          | Ok () -> ()
+          | Error _ -> ())
+        (Resource.units_owned_by t.resources Resource.Memory_resource e.domain);
+      List.iter
+        (fun tid ->
+          match Hashtbl.find_opt t.threads tid with
+          | Some th ->
+              th.t_owner <- None;
+              th.t_offered <- None;
+              th.phase <- T_available;
+              th.aex_state <- None;
+              th.entry_pc <- 0L;
+              th.entry_sp <- 0L;
+              th.t_lock <- false
+          | None -> ())
+        e.threads;
+      Mailbox.wipe e.mailboxes;
+      Hashtbl.remove t.enclaves eid;
+      Hashtbl.remove t.domain_of_enclave e.domain;
+      release_slot t ~addr:eid;
+      if Tel.Sink.enabled t.sink then begin
+        Tel.Sink.incr_counter t.sink "sm.emergency_reclaims";
+        emit t (Tel.Event.Enclave_destroyed { eid })
+      end
+
+let handle_machine_check t (c : Hw.Machine.core) ~paddr =
+  if Tel.Sink.enabled t.sink then
+    Tel.Sink.incr_counter t.sink "sm.machine_checks";
+  (* The enclave resident on the dying core goes with it. *)
+  (match enclave_of_domain t c.Hw.Machine.domain with
+  | Some eid -> emergency_reclaim_enclave t eid
+  | None -> ());
+  (* An uncorrectable word poisons its owner: reclaim the enclave it
+     belonged to, then retire the word (zeroing rewrites the check
+     bits) so honest accesses elsewhere stop tripping over it. *)
+  if paddr >= 0 && paddr + 8 <= Hw.Phys_mem.size (mem t) then begin
+    let owner = t.pf.Pf.Platform.owner_at ~paddr in
+    (match Hashtbl.find_opt t.domain_of_enclave owner with
+    | Some eid -> emergency_reclaim_enclave t eid
+    | None -> ());
+    Hw.Phys_mem.zero_range (mem t) ~pos:(paddr / 8 * 8) ~len:8
+  end;
+  (* The trap handler still runs on the faulted core, so architected
+     and microarchitectural state remain scrubbable — unlike a
+     shootdown-timeout quarantine, where the core is unreachable. *)
+  scrub_core t c;
+  Hw.Machine.quarantine t.machine ~core:c.Hw.Machine.id ~reason:"machine-check"
+
+(* Background patrol scrub: walk all of memory through the ECC engine,
+   correcting single-bit faults before they accumulate into
+   uncorrectable ones. An uncorrectable word found here is retired in
+   place — its owning enclave reclaimed, the word zeroed — without
+   sacrificing a core: nothing was executing through the bad word, so
+   unlike the trap path there is no poisoned architectural state. *)
+let patrol_scrub t =
+  let m = mem t in
+  let size = Hw.Phys_mem.size m in
+  let corrected_before = Hw.Phys_mem.corrected_count m in
+  let retired = ref 0 in
+  let budget = ref (Hw.Phys_mem.pending_faults m + 1) in
+  let scanning = ref true in
+  while !scanning && !budget > 0 do
+    decr budget;
+    match Hw.Phys_mem.scrub m ~pos:0 ~len:size with
+    | `Clean | `Corrected _ -> scanning := false
+    | `Uncorrectable paddr ->
+        if Tel.Sink.enabled t.sink then
+          Tel.Sink.incr_counter t.sink "sm.patrol.retired";
+        let owner = t.pf.Pf.Platform.owner_at ~paddr in
+        (match Hashtbl.find_opt t.domain_of_enclave owner with
+        | Some eid -> emergency_reclaim_enclave t eid
+        | None -> ());
+        Hw.Phys_mem.zero_range m ~pos:paddr ~len:8;
+        incr retired
+  done;
+  (Hw.Phys_mem.corrected_count m - corrected_before, !retired)
+
+(* Invoked by the machine for every quarantined core, whatever the
+   trigger. Any thread the dead core was running is detached: its
+   context is lost (fail closed — the computation dies, nothing
+   leaks), and its enclave, if still alive, may schedule the thread
+   again elsewhere from its entry point. *)
+let handle_core_quarantine t (c : Hw.Machine.core) ~reason:_ =
+  match running_thread_on t c.Hw.Machine.id with
+  | Some th ->
+      th.phase <- T_assigned;
+      th.aex_state <- None
+  | None -> ()
+
 (* The M-mode trap funnel (Fig. 1). *)
-let on_trap t _machine (c : Hw.Machine.core) cause =
+let on_trap_dispatch t _machine (c : Hw.Machine.core) cause =
   match enclave_of_domain t c.Hw.Machine.domain with
   | None ->
       (* Untrusted (or monitor-owned) context: straight delegation. *)
@@ -1276,6 +1405,24 @@ let on_trap t _machine (c : Hw.Machine.core) cause =
         end
     end
 
+let on_trap t machine (c : Hw.Machine.core) cause =
+  match cause with
+  | Hw.Trap.Exception (Hw.Trap.Machine_check paddr) ->
+      (* Containment runs before any domain dispatch: the faulting
+         core's bookkeeping may be among the casualties. *)
+      handle_machine_check t c ~paddr
+  | _ -> begin
+      (* The funnel itself must not raise into the simulated machine:
+         corrupted metadata mid-dispatch fails closed by retiring the
+         core, exactly as a machine check would. *)
+      match on_trap_dispatch t machine c cause with
+      | () -> ()
+      | exception _ ->
+          (try scrub_core t c with _ -> ());
+          Hw.Machine.quarantine t.machine ~core:c.Hw.Machine.id
+            ~reason:"trap-handler-fault"
+    end
+
 (* ------------------------------------------------------------------ *)
 (* Boot *)
 
@@ -1318,6 +1465,8 @@ let boot ~platform:pf ~identity ~signing_enclave_measurement =
     }
   in
   Hw.Machine.set_trap_handler machine (fun m c cause -> on_trap t m c cause);
+  Hw.Machine.set_quarantine_handler machine (fun _ c ~reason ->
+      handle_core_quarantine t c ~reason);
   t
 
 let set_sink t sink =

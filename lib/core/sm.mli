@@ -227,6 +227,19 @@ val read_aex_state : t -> caller:caller -> tid:int -> string Api_error.result
     Layout: x1..x31 then the interrupted pc, 32 little-endian 64-bit
     words. *)
 
+(** {2 Fault recovery} *)
+
+val patrol_scrub : t -> int * int
+(** Background ECC patrol: walk all of physical memory through the
+    scrubber, correcting single-bit faults before a second hit in the
+    same word makes them uncorrectable. An uncorrectable word found
+    here is retired in place — its owning enclave is emergency-reclaimed
+    and the word zeroed — {e without} quarantining a core: nothing was
+    executing through the bad word, so unlike the machine-check trap
+    path there is no poisoned architectural state. Returns
+    [(corrected, retired)] word counts. Idempotent when memory is
+    clean, and O(1) in that case. *)
+
 (** {2 Mailboxes (Fig. 5)} *)
 
 val accept_mail :

@@ -1,0 +1,56 @@
+(** The deterministic fault-injection engine.
+
+    From a seed and a {!Spec.t} the engine derives a fixed schedule of
+    faults at simulated-cycle granularity, then installs itself as the
+    machine's {!Sanctorum_hw.Machine.fault_hooks}. Because the
+    simulation itself is deterministic, the same seed always yields
+    the same schedule {e and} the same outcome — every failure is
+    reproducible from its seed.
+
+    Delivery model: the engine's clock is the maximum cycle count any
+    core has reached; a fault whose cycle is due fires from the next
+    [tick], on whichever core is stepping (so core-targeted faults —
+    spurious interrupts, machine checks — always hit a live core).
+    Interrupt drops and IPI drops arm a counter consumed by the next
+    matching delivery attempt. *)
+
+type t
+
+val create :
+  ?horizon:int ->
+  machine:Sanctorum_hw.Machine.t ->
+  seed:int64 ->
+  spec:Spec.t ->
+  unit ->
+  t
+(** Derive the schedule: every fault in [spec] is placed at a seeded
+    uniform cycle in [[0, horizon)] (default 4000) with seeded
+    parameters (addresses, bits, interrupt kinds). Nothing fires until
+    {!arm}. *)
+
+val arm : t -> unit
+(** Install the engine as the machine's fault hooks. *)
+
+val disarm : t -> unit
+(** Remove the hooks; pending schedule entries stop firing. *)
+
+val schedule : t -> (int * string) list
+(** The full schedule as [(cycle, description)] pairs, in firing
+    order — the determinism witness: equal seeds and specs yield equal
+    schedules. *)
+
+type stats = {
+  injected : int;  (** schedule entries fired so far *)
+  pending : int;  (** schedule entries not yet due *)
+  irqs_dropped : int;  (** interrupts actually suppressed *)
+  ipis_dropped : int;  (** shootdown IPI deliveries actually lost *)
+  dma_granted : int;
+  dma_denied : int;
+}
+
+val stats : t -> stats
+
+val dma_grants : t -> int list
+(** Physical addresses of misfired DMA writes the machine {e let
+    through}. The chaos harness cross-checks each against the owner
+    map: a grant into non-untrusted memory is fail-open evidence. *)

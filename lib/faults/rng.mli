@@ -1,0 +1,20 @@
+(** The fault engine's own deterministic RNG (splitmix64).
+
+    Deliberately {e not} [Stdlib.Random] and {e not} the monitor's
+    DRBG: the whole point of the engine is that the same seed always
+    produces the same fault schedule, independent of anything else the
+    process does, so every chaos failure is reproducible from the seed
+    printed in the log line. *)
+
+type t
+
+val create : seed:int64 -> t
+
+val next : t -> int64
+(** The next 64-bit output. *)
+
+val int : t -> bound:int -> int
+(** Uniform-ish in [[0, bound)]; [bound] must be positive. *)
+
+val pick : t -> 'a list -> 'a
+(** A uniform element of a non-empty list. *)

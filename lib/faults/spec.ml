@@ -1,0 +1,83 @@
+type fault_class =
+  | Bit_flip
+  | Double_bit_flip
+  | Irq_drop
+  | Spurious_irq
+  | Ipi_drop
+  | Dma_misfire
+  | Core_check
+
+type entry = { cls : fault_class; count : int }
+type t = entry list
+
+let all_classes =
+  [
+    Bit_flip; Double_bit_flip; Irq_drop; Spurious_irq; Ipi_drop; Dma_misfire;
+    Core_check;
+  ]
+
+let class_name = function
+  | Bit_flip -> "bitflip"
+  | Double_bit_flip -> "bitflip2"
+  | Irq_drop -> "irq-drop"
+  | Spurious_irq -> "spurious-irq"
+  | Ipi_drop -> "ipi-drop"
+  | Dma_misfire -> "dma"
+  | Core_check -> "mce"
+
+let class_of_name name =
+  List.find_opt (fun c -> class_name c = name) all_classes
+
+let parse s =
+  let parse_entry chunk =
+    let name, count =
+      match String.index_opt chunk ':' with
+      | None -> (chunk, Ok 1)
+      | Some i ->
+          let n = String.sub chunk (i + 1) (String.length chunk - i - 1) in
+          ( String.sub chunk 0 i,
+            match int_of_string_opt n with
+            | Some c when c > 0 -> Ok c
+            | Some _ | None ->
+                Error (Printf.sprintf "bad count %S in %S" n chunk) )
+    in
+    match count with
+    | Error _ as e -> e
+    | Ok count -> (
+        match name with
+        | "all" -> Ok (List.map (fun cls -> { cls; count }) all_classes)
+        | _ -> (
+            match class_of_name name with
+            | Some cls -> Ok [ { cls; count } ]
+            | None ->
+                Error
+                  (Printf.sprintf "unknown fault class %S (expected %s or all)"
+                     name
+                     (String.concat "|" (List.map class_name all_classes)))))
+  in
+  let chunks =
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun c -> c <> "")
+  in
+  if chunks = [] then Error "empty fault spec"
+  else
+    List.fold_left
+      (fun acc chunk ->
+        match (acc, parse_entry chunk) with
+        | (Error _ as e), _ -> e
+        | _, (Error _ as e) -> e
+        | Ok entries, Ok more -> Ok (entries @ more))
+      (Ok []) chunks
+
+let to_string t =
+  String.concat ","
+    (List.map
+       (fun { cls; count } ->
+         if count = 1 then class_name cls
+         else Printf.sprintf "%s:%d" (class_name cls) count)
+       t)
+
+let total t = List.fold_left (fun acc e -> acc + e.count) 0 t
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

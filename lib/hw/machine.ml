@@ -9,11 +9,21 @@ type core = {
   mutable cycles : int;
   mutable instret : int;
   mutable halted : bool;
+  mutable quarantined : bool;
   tlb : Tlb.t;
   l1 : Cache.t;
   pmp : Pmp.t;
   mutable timer_cmp : int option;
   mutable pending_interrupts : Trap.interrupt list;
+}
+
+(* Hooks the fault-injection engine (lib/faults) installs to perturb
+   the machine. [None] is the production configuration: each site pays
+   a single option match. *)
+type fault_hooks = {
+  tick : core:int -> cycles:int -> unit;
+  irq_gate : core:int -> irq:Trap.interrupt -> bool;
+  drop_shootdown_ipi : target_core:int -> attempt:int -> bool;
 }
 
 type config = {
@@ -49,6 +59,8 @@ type t = {
   mutable trap_handler : t -> core -> Trap.cause -> unit;
   mutable sink : Tel.Sink.t;
   mutable ctrs : hw_counters option;
+  mutable fault_hooks : fault_hooks option;
+  mutable quarantine_handler : (t -> core -> reason:string -> unit) option;
 }
 
 exception Fault of Trap.exception_cause
@@ -74,6 +86,7 @@ let create cfg =
       cycles = 0;
       instret = 0;
       halted = false;
+      quarantined = false;
       tlb = Tlb.create ~entries:cfg.tlb_entries;
       l1 = Cache.create cfg.l1;
       pmp = Pmp.create ();
@@ -96,6 +109,8 @@ let create cfg =
         core.halted <- true);
     sink = Tel.Sink.null;
     ctrs = None;
+    fault_hooks = None;
+    quarantine_handler = None;
   }
 
 let set_sink t sink =
@@ -135,6 +150,8 @@ let set_phys_check t f = t.phys_check <- f
 let set_pte_fetch_check t f = t.pte_fetch_check <- f
 let set_dma_check t f = t.dma_check <- f
 let set_trap_handler t f = t.trap_handler <- f
+let set_fault_hooks t h = t.fault_hooks <- h
+let set_quarantine_handler t f = t.quarantine_handler <- Some f
 let read_reg core r = if r = 0 then 0L else core.regs.(r)
 let write_reg core r v = if r <> 0 then core.regs.(r) <- v
 
@@ -144,7 +161,38 @@ let reset_core_state core =
 
 let post_interrupt t ~core irq =
   let c = t.cores.(core) in
-  c.pending_interrupts <- c.pending_interrupts @ [ irq ]
+  (* a quarantined core is fenced off the interconnect: interrupts
+     aimed at it are dropped, never queued *)
+  if not c.quarantined then
+    c.pending_interrupts <- c.pending_interrupts @ [ irq ]
+
+(* ECC runs in the memory controller: every architectural access
+   (instruction fetch, load/store, PTE fetch, DMA) scrubs the words it
+   touches. Single-bit faults are corrected silently (and counted);
+   an uncorrectable word raises [Fault (Machine_check paddr)]. The
+   [pending_faults] guard keeps the fault-free fast path at one load
+   and compare. *)
+let ecc_check_exn t ~core_id ~cycles ~pos ~len =
+  if Phys_mem.pending_faults t.mem > 0 && pos >= 0 && len > 0
+     && pos + len <= Phys_mem.size t.mem
+  then
+    match Phys_mem.scrub t.mem ~pos ~len with
+    | `Clean -> ()
+    | `Corrected n ->
+        if Tel.Sink.enabled t.sink then begin
+          for _ = 1 to n do
+            Tel.Sink.incr_counter t.sink "hw.ecc.corrected"
+          done;
+          Tel.Sink.emit t.sink ~core:core_id ~cycles
+            (Tel.Event.Ecc_corrected { paddr = pos })
+        end
+    | `Uncorrectable paddr ->
+        if Tel.Sink.enabled t.sink then begin
+          Tel.Sink.incr_counter t.sink "hw.ecc.uncorrectable";
+          Tel.Sink.emit t.sink ~core:core_id ~cycles
+            (Tel.Event.Machine_check { paddr })
+        end;
+        raise (Fault (Trap.Machine_check paddr))
 
 let tlb_perms_allow (perms : Tlb.perms) (access : Trap.access) =
   perms.u
@@ -175,7 +223,11 @@ let translate_exn t core ~access ~vaddr =
               (match t.ctrs with
               | Some c -> Tel.Metrics.incr c.c_tlb_misses
               | None -> ());
-              let pte_fetch_ok paddr = t.pte_fetch_check ~core ~paddr in
+              let pte_fetch_ok paddr =
+                ecc_check_exn t ~core_id:core.id ~cycles:core.cycles
+                  ~pos:paddr ~len:8;
+                t.pte_fetch_check ~core ~paddr
+              in
               let steps =
                 Page_table.walk_cost_levels t.mem ~root_ppn:root ~vaddr:va
                   ~pte_fetch_ok
@@ -217,6 +269,7 @@ let cached_access t core ~access ~vaddr ~size =
   if Int64.rem vaddr (Int64.of_int size) <> 0L then
     raise (Fault (Trap.Misaligned (access, vaddr)));
   let paddr = translate_exn t core ~access ~vaddr in
+  ecc_check_exn t ~core_id:core.id ~cycles:core.cycles ~pos:paddr ~len:size;
   let l1_hit, l1_cycles = Cache.access core.l1 ~paddr in
   let cost =
     if l1_hit then begin
@@ -305,6 +358,84 @@ let deliver_trap t core cause =
   end
   else t.trap_handler t core cause
 
+(* ---- Fault containment --------------------------------------------- *)
+
+let quarantine t ~core ~reason =
+  let c = t.cores.(core) in
+  if not c.quarantined then begin
+    c.quarantined <- true;
+    c.halted <- true;
+    c.timer_cmp <- None;
+    c.pending_interrupts <- [];
+    if Tel.Sink.enabled t.sink then begin
+      Tel.Sink.incr_counter t.sink "hw.core.quarantined";
+      Tel.Sink.emit t.sink ~core:(-1) ~cycles:(now t)
+        (Tel.Event.Core_quarantined { core; reason })
+    end;
+    match t.quarantine_handler with Some f -> f t c ~reason | None -> ()
+  end
+
+let shootdown_max_attempts = 3
+
+(* Inter-core TLB shootdown with acknowledgment timeouts. An IPI the
+   fault engine drops is retried up to [shootdown_max_attempts] times;
+   a core that never acknowledges is presumed dead and quarantined —
+   its stale TLB is harmless because a quarantined core never runs
+   again (fail closed: lose a core, never serve a stale translation). *)
+let tlb_shootdown t ~reason =
+  Array.iter
+    (fun c ->
+      if not c.quarantined then begin
+        let delivered = ref false in
+        let attempt = ref 1 in
+        while (not !delivered) && !attempt <= shootdown_max_attempts do
+          let dropped =
+            match t.fault_hooks with
+            | Some h -> h.drop_shootdown_ipi ~target_core:c.id ~attempt:!attempt
+            | None -> false
+          in
+          if dropped then begin
+            if Tel.Sink.enabled t.sink then begin
+              Tel.Sink.incr_counter t.sink "hw.shootdown.retries";
+              Tel.Sink.emit t.sink ~core:(-1) ~cycles:(now t)
+                (Tel.Event.Shootdown_retry
+                   { target_core = c.id; attempt = !attempt })
+            end;
+            incr attempt
+          end
+          else begin
+            Tlb.flush c.tlb;
+            Cache.flush_all c.l1;
+            delivered := true
+          end
+        done;
+        if not !delivered then quarantine t ~core:c.id ~reason:"shootdown-timeout"
+      end)
+    t.cores;
+  if Tel.Sink.enabled t.sink then
+    Tel.Sink.emit t.sink ~core:(-1) ~cycles:(now t)
+      (Tel.Event.Tlb_flush { reason })
+
+let raise_machine_check t ~core ~paddr =
+  let c = t.cores.(core) in
+  if not (c.halted || c.quarantined) then begin
+    if Tel.Sink.enabled t.sink then begin
+      Tel.Sink.incr_counter t.sink "hw.ecc.uncorrectable";
+      Tel.Sink.emit t.sink ~core:c.id ~cycles:c.cycles
+        (Tel.Event.Machine_check { paddr })
+    end;
+    deliver_trap t c (Trap.Exception (Trap.Machine_check paddr))
+  end
+
+let irq_allowed t core irq =
+  match t.fault_hooks with
+  | None -> true
+  | Some h ->
+      let ok = h.irq_gate ~core:core.id ~irq in
+      if (not ok) && Tel.Sink.enabled t.sink then
+        Tel.Sink.incr_counter t.sink "hw.irq.dropped";
+      ok
+
 (* Returns true if an interrupt was delivered instead of an instruction. *)
 let check_interrupts t core =
   let timer_due =
@@ -312,16 +443,22 @@ let check_interrupts t core =
   in
   if timer_due then begin
     core.timer_cmp <- None;
-    deliver_trap t core (Trap.Interrupt Trap.Timer);
-    true
+    if irq_allowed t core Trap.Timer then begin
+      deliver_trap t core (Trap.Interrupt Trap.Timer);
+      true
+    end
+    else false
   end
   else begin
     match core.pending_interrupts with
     | [] -> false
     | irq :: rest ->
         core.pending_interrupts <- rest;
-        deliver_trap t core (Trap.Interrupt irq);
-        true
+        if irq_allowed t core irq then begin
+          deliver_trap t core (Trap.Interrupt irq);
+          true
+        end
+        else false
   end
 
 let execute t core instr =
@@ -375,6 +512,9 @@ let execute t core instr =
   | Ebreak -> deliver_trap t core (Trap.Exception Trap.Breakpoint)
 
 let step t core =
+  (match t.fault_hooks with
+  | Some h -> h.tick ~core:core.id ~cycles:core.cycles
+  | None -> ());
   if core.halted then ()
   else if check_interrupts t core then ()
   else begin
@@ -433,9 +573,14 @@ let dma_write t ~paddr data =
   else if paddr < 0 || paddr + len > Phys_mem.size t.mem then
     Error (Trap.Access_fault (Trap.Write, Int64.of_int paddr))
   else begin
-    trace_dma t ~write:true ~paddr ~len ~granted:true;
-    Phys_mem.write_string t.mem ~pos:paddr data;
-    Ok ()
+    match ecc_check_exn t ~core_id:(-1) ~cycles:(now t) ~pos:paddr ~len with
+    | exception Fault f ->
+        trace_dma t ~write:true ~paddr ~len ~granted:false;
+        Error f
+    | () ->
+        trace_dma t ~write:true ~paddr ~len ~granted:true;
+        Phys_mem.write_string t.mem ~pos:paddr data;
+        Ok ()
   end
 
 let dma_read t ~paddr ~len =
@@ -446,6 +591,11 @@ let dma_read t ~paddr ~len =
   else if paddr < 0 || len < 0 || paddr + len > Phys_mem.size t.mem then
     Error (Trap.Access_fault (Trap.Read, Int64.of_int paddr))
   else begin
-    trace_dma t ~write:false ~paddr ~len ~granted:true;
-    Ok (Phys_mem.read_string t.mem ~pos:paddr ~len)
+    match ecc_check_exn t ~core_id:(-1) ~cycles:(now t) ~pos:paddr ~len with
+    | exception Fault f ->
+        trace_dma t ~write:false ~paddr ~len ~granted:false;
+        Error f
+    | () ->
+        trace_dma t ~write:false ~paddr ~len ~granted:true;
+        Ok (Phys_mem.read_string t.mem ~pos:paddr ~len)
   end

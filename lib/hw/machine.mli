@@ -19,6 +19,10 @@ type core = {
   mutable cycles : int;
   mutable instret : int;
   mutable halted : bool;
+  mutable quarantined : bool;
+      (** the core suffered a machine check or stopped acknowledging
+          IPIs and was removed from service; a quarantined core is
+          permanently halted and is skipped by shootdowns *)
   tlb : Tlb.t;
   l1 : Cache.t;
   pmp : Pmp.t;
@@ -26,6 +30,19 @@ type core = {
       (** deliver a timer interrupt when [cycles >= cmp] *)
   mutable pending_interrupts : Trap.interrupt list;
 }
+
+type fault_hooks = {
+  tick : core:int -> cycles:int -> unit;
+      (** called once per {!step}, before anything else — the
+          fault-injection engine's clock *)
+  irq_gate : core:int -> irq:Trap.interrupt -> bool;
+      (** [false] drops the interrupt on the floor (it is consumed but
+          not delivered) — a transient interrupt-controller fault *)
+  drop_shootdown_ipi : target_core:int -> attempt:int -> bool;
+      (** [true] loses this shootdown IPI; the protocol retries *)
+}
+(** Hooks installed by the fault-injection engine ([Sanctorum_faults]).
+    With no hooks installed every site costs one option match. *)
 
 type t
 
@@ -70,6 +87,39 @@ val set_trap_handler : t -> (t -> core -> Trap.cause -> unit) -> unit
     state (pc, registers, domain, satp) and returns; execution resumes
     at [core.pc] unless the handler halted the core. *)
 
+(** {2 Faults, quarantine and shootdown} *)
+
+val set_fault_hooks : t -> fault_hooks option -> unit
+(** Install (or with [None] remove) the fault-injection hooks. *)
+
+val quarantine : t -> core:int -> reason:string -> unit
+(** Remove a core from service: permanently halt it, cancel its timer
+    and pending interrupts, emit [Core_quarantined], and invoke the
+    quarantine handler (if set) so the monitor can reclaim whatever
+    was running there. Idempotent. *)
+
+val set_quarantine_handler : t -> (t -> core -> reason:string -> unit) -> unit
+(** Called exactly once per quarantined core, after the core is
+    halted. Installed by the monitor. *)
+
+val shootdown_max_attempts : int
+(** IPI delivery attempts per target core before it is presumed dead
+    (3). *)
+
+val tlb_shootdown : t -> reason:string -> unit
+(** Flush every live core's TLB and private cache via IPIs with
+    acknowledgment timeouts: an IPI lost to fault injection is retried
+    up to {!shootdown_max_attempts} times, then the unresponsive core
+    is {!quarantine}d — stale state on a core that never runs again
+    cannot leak, so the shootdown fails closed. Emits one [Tlb_flush]
+    event with [reason]. *)
+
+val raise_machine_check : t -> core:int -> paddr:int -> unit
+(** Deliver a machine-check trap on [core] (no-op if it is already
+    halted or quarantined). Used by the fault engine for the
+    core-death fault class; ECC-detected double-bit errors take the
+    same trap path from inside the access functions. *)
+
 (** {2 Telemetry} *)
 
 val set_sink : t -> Sanctorum_telemetry.Sink.t -> unit
@@ -95,6 +145,8 @@ val run : t -> core:int -> fuel:int -> int
     instructions have retired; returns instructions retired. *)
 
 val post_interrupt : t -> core:int -> Trap.interrupt -> unit
+(** Queue an external interrupt for [core]. Dropped silently if the
+    core is quarantined — a fenced core is off the interconnect. *)
 
 (** {2 Register and memory helpers} *)
 

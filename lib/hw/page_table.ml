@@ -39,7 +39,12 @@ let walk_steps mem ~root_ppn ~vaddr ~pte_fetch_ok =
     let pte_addr =
       Phys_mem.page_base table_ppn + (pte_size * vpn_index vaddr level)
     in
-    if not (pte_fetch_ok pte_addr) then Error (Walk_access_denied pte_addr)
+    (* A corrupted intermediate PTE can point the walk outside physical
+       memory; real hardware reports that as an invalid translation,
+       not a crash. *)
+    if pte_addr < 0 || pte_addr + pte_size > Phys_mem.size mem then
+      Error Invalid_mapping
+    else if not (pte_fetch_ok pte_addr) then Error (Walk_access_denied pte_addr)
     else begin
       incr steps;
       match decode_pte (Phys_mem.read_u64 mem pte_addr) with

@@ -32,3 +32,34 @@ val page_of : int -> int
 
 val page_base : int -> int
 (** [page_base ppn] is the first address of page [ppn]. *)
+
+(** {2 ECC fault model}
+
+    DRAM words (8 bytes) carry SECDED check bits: a single flipped bit
+    in a word is detected and corrected on access, two or more flipped
+    bits are detected but uncorrectable. The plain [read_*] accessors
+    above stay oblivious — they return the stored (possibly corrupted)
+    bytes — because ECC runs in the memory controller, i.e. in the
+    machine layer's architectural access paths, not in every raw
+    inspection of the array. The [write_*] accessors absorb any fault
+    pending on the words they touch (a store rewrites the check bits),
+    restoring the pristine bytes before the new data lands. *)
+
+val inject_bit_flip : t -> paddr:int -> bit:int -> unit
+(** Flip bit [bit] (0..63) of the 8-byte word containing [paddr].
+    Flipping the same bit twice restores the word. *)
+
+val scrub : t -> pos:int -> len:int -> [ `Clean | `Corrected of int | `Uncorrectable of int ]
+(** Run ECC over the words overlapping [pos, pos+len): correct
+    single-bit faults in place (counted), stop at the first
+    uncorrectable word and return its base address. O(1) when no
+    faults are pending. *)
+
+val pending_faults : t -> int
+(** Number of words currently holding undetected flipped bits. *)
+
+val corrected_count : t -> int
+(** Total single-bit errors corrected so far. *)
+
+val uncorrectable_count : t -> int
+(** Total uncorrectable (machine-check) errors detected so far. *)

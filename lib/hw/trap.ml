@@ -7,6 +7,7 @@ type exception_cause =
   | Page_fault of access * int64
   | Ecall_user
   | Breakpoint
+  | Machine_check of int
 
 type interrupt = Timer | Software | External of int
 type cause = Exception of exception_cause | Interrupt of interrupt
@@ -31,6 +32,7 @@ let cause_label = function
   | Exception (Page_fault (a, _)) -> "page-fault-" ^ access_label a
   | Exception Ecall_user -> "ecall"
   | Exception Breakpoint -> "breakpoint"
+  | Exception (Machine_check _) -> "machine-check"
   | Interrupt Timer -> "irq-timer"
   | Interrupt Software -> "irq-software"
   | Interrupt (External _) -> "irq-external"
@@ -46,6 +48,9 @@ let pp_cause ppf = function
       Format.fprintf ppf "page fault (%a) at 0x%Lx" pp_access a addr
   | Exception Ecall_user -> Format.pp_print_string ppf "ecall from U-mode"
   | Exception Breakpoint -> Format.pp_print_string ppf "breakpoint"
+  | Exception (Machine_check paddr) ->
+      if paddr < 0 then Format.pp_print_string ppf "machine check"
+      else Format.fprintf ppf "machine check at 0x%x" paddr
   | Interrupt Timer -> Format.pp_print_string ppf "timer interrupt"
   | Interrupt Software -> Format.pp_print_string ppf "software interrupt"
   | Interrupt (External n) -> Format.fprintf ppf "external interrupt %d" n

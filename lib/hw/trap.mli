@@ -13,6 +13,10 @@ type exception_cause =
   | Page_fault of access * int64  (** translation failure *)
   | Ecall_user  (** environment call from U-mode: an SM API call *)
   | Breakpoint
+  | Machine_check of int
+      (** uncorrectable hardware error (e.g. a double-bit ECC fault);
+          the payload is the faulting physical address, or [-1] when
+          the failure is not tied to a memory access (a dying core) *)
 
 type interrupt =
   | Timer  (** the OS's preemption tick *)

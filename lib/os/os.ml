@@ -6,6 +6,7 @@ type run_outcome =
   | Preempted
   | Faulted of Hw.Trap.cause
   | Fuel_exhausted
+  | Killed
 
 type installed = {
   eid : int;
@@ -31,6 +32,20 @@ type t = {
 
 let ( let* ) = Result.bind
 let page = Hw.Phys_mem.page_size
+
+(* Monitor calls can abort with [Concurrent_call] when a fine-grained
+   lock is held (§V-A): the documented protocol is simply to retry the
+   transaction. The driver retries a bounded number of times so a lock
+   leaked by a fault cannot spin the OS forever. *)
+let transient_retries = 4
+
+let retry_transient f =
+  let rec go n =
+    match f () with
+    | Error Sanctorum.Api_error.Concurrent_call when n > 0 -> go (n - 1)
+    | r -> r
+  in
+  go transient_retries
 
 (* The OS heap: memory above the monitor's reservation that the OS
    keeps for itself (staging buffers, its own page tables, shared
@@ -179,11 +194,18 @@ let install_enclave t (image : Sanctorum.Image.t) =
   let rec grant_all = function
     | [] -> Ok ()
     | rid :: rest ->
-        let* () = Sanctorum.Sm.block_resource t.sm ~caller:Sanctorum.Sm.Os Sanctorum.Resource.Memory_resource ~rid in
-        let* () = Sanctorum.Sm.clean_resource t.sm ~caller:Sanctorum.Sm.Os Sanctorum.Resource.Memory_resource ~rid in
         let* () =
-          Sanctorum.Sm.grant_resource t.sm ~caller:Sanctorum.Sm.Os Sanctorum.Resource.Memory_resource ~rid
-            ~to_:(Sanctorum.Sm.To_enclave eid)
+          retry_transient (fun () ->
+              Sanctorum.Sm.block_resource t.sm ~caller:Sanctorum.Sm.Os Sanctorum.Resource.Memory_resource ~rid)
+        in
+        let* () =
+          retry_transient (fun () ->
+              Sanctorum.Sm.clean_resource t.sm ~caller:Sanctorum.Sm.Os Sanctorum.Resource.Memory_resource ~rid)
+        in
+        let* () =
+          retry_transient (fun () ->
+              Sanctorum.Sm.grant_resource t.sm ~caller:Sanctorum.Sm.Os Sanctorum.Resource.Memory_resource ~rid
+                ~to_:(Sanctorum.Sm.To_enclave eid))
         in
         grant_all rest
   in
@@ -239,15 +261,31 @@ let install_enclave t (image : Sanctorum.Image.t) =
   Ok { eid; tids; shared_paddrs }
 
 let reclaim_enclave t ~eid =
-  let* () = Sanctorum.Sm.delete_enclave t.sm ~caller:Sanctorum.Sm.Os ~eid in
+  let* () =
+    match
+      retry_transient (fun () ->
+          Sanctorum.Sm.delete_enclave t.sm ~caller:Sanctorum.Sm.Os ~eid)
+    with
+    | Ok () -> Ok ()
+    | Error _ when not (List.mem eid (Sanctorum.Sm.enclaves t.sm)) ->
+        (* The monitor already tore the enclave down (emergency reclaim
+           after a machine check). Its units are blocked and waiting for
+           the cleaning below, so reclamation proceeds as usual. *)
+        Ok ()
+    | Error e -> Error e
+  in
   let units = Option.value ~default:[] (Hashtbl.find_opt t.granted eid) in
   let rec reclaim = function
     | [] -> Ok ()
     | rid :: rest ->
-        let* () = Sanctorum.Sm.clean_resource t.sm ~caller:Sanctorum.Sm.Os Sanctorum.Resource.Memory_resource ~rid in
         let* () =
-          Sanctorum.Sm.grant_resource t.sm ~caller:Sanctorum.Sm.Os Sanctorum.Resource.Memory_resource ~rid
-            ~to_:Sanctorum.Sm.To_os
+          retry_transient (fun () ->
+              Sanctorum.Sm.clean_resource t.sm ~caller:Sanctorum.Sm.Os Sanctorum.Resource.Memory_resource ~rid)
+        in
+        let* () =
+          retry_transient (fun () ->
+              Sanctorum.Sm.grant_resource t.sm ~caller:Sanctorum.Sm.Os Sanctorum.Resource.Memory_resource ~rid
+                ~to_:Sanctorum.Sm.To_os)
         in
         reclaim rest
   in
@@ -268,11 +306,13 @@ let reclaim_enclave t ~eid =
 (* --------------------------------------------------------------- *)
 (* Scheduling *)
 
-let classify_outcome t ~events_before ~tid =
+let classify_outcome t ~events_before ~tid ~core =
   let new_events =
     let rec take n l = if n <= 0 then [] else match l with [] -> [] | x :: r -> x :: take (n - 1) r in
     take (List.length t.events - events_before) t.events
   in
+  if (Hw.Machine.core t.machine core).Hw.Machine.quarantined then Killed
+  else
   match Sanctorum.Sm.thread_state t.sm ~tid with
   | Ok (`Running _) -> Fuel_exhausted
   | Ok (`Assigned _) | Ok `Available | Error _ -> begin
@@ -290,19 +330,42 @@ let classify_outcome t ~events_before ~tid =
 let enter_and_run t ~eid ~tid ~core ~fuel ~quantum =
   let c = Hw.Machine.core t.machine core in
   let events_before = List.length t.events in
-  let* () = Sanctorum.Sm.enter_enclave t.sm ~caller:Sanctorum.Sm.Os ~eid ~tid ~core in
+  let* () =
+    retry_transient (fun () ->
+        Sanctorum.Sm.enter_enclave t.sm ~caller:Sanctorum.Sm.Os ~eid ~tid ~core)
+  in
   (match quantum with
   | Some q -> c.Hw.Machine.timer_cmp <- Some (c.Hw.Machine.cycles + q)
   | None -> ());
   let _retired = Hw.Machine.run t.machine ~core ~fuel in
   c.Hw.Machine.timer_cmp <- None;
-  Ok (classify_outcome t ~events_before ~tid)
+  Ok (classify_outcome t ~events_before ~tid ~core)
 
 let run_enclave t ~eid ~tid ~core ~fuel ?quantum () =
   enter_and_run t ~eid ~tid ~core ~fuel ~quantum
 
 let resume_enclave t ~eid ~tid ~core ~fuel ?quantum () =
   enter_and_run t ~eid ~tid ~core ~fuel ~quantum
+
+(* A dropped preemption tick leaves the thread running when the fuel
+   budget runs dry ([Fuel_exhausted] with the core still inside the
+   enclave). The OS cannot [enter_enclave] again — the thread never
+   exited — so it re-arms the quantum and lets the core continue. *)
+let continue_running t ~tid ~core ~fuel ?quantum () =
+  let c = Hw.Machine.core t.machine core in
+  let events_before = List.length t.events in
+  match Sanctorum.Sm.thread_state t.sm ~tid with
+  | Ok (`Running (_, rcore)) when rcore = core ->
+      (match quantum with
+      | Some q -> c.Hw.Machine.timer_cmp <- Some (c.Hw.Machine.cycles + q)
+      | None -> ());
+      let _retired = Hw.Machine.run t.machine ~core ~fuel in
+      c.Hw.Machine.timer_cmp <- None;
+      Ok (classify_outcome t ~events_before ~tid ~core)
+  | Ok _ | Error _ ->
+      Error
+        (Sanctorum.Api_error.Invalid_state
+           "continue_running: thread is not running on this core")
 
 (* --------------------------------------------------------------- *)
 (* Untrusted user programs (the baseline protection domain) *)

@@ -13,6 +13,9 @@ type run_outcome =
   | Preempted  (** a timer interrupt forced an AEX *)
   | Faulted of Sanctorum_hw.Trap.cause  (** AEX caused by an exception *)
   | Fuel_exhausted
+  | Killed
+      (** the core was quarantined mid-run (machine check or shootdown
+          timeout): the computation is lost, nothing leaked *)
 
 type installed = {
   eid : int;
@@ -78,6 +81,18 @@ val resume_enclave :
   t -> eid:int -> tid:int -> core:int -> fuel:int -> ?quantum:int -> unit ->
   (run_outcome, Sanctorum.Api_error.t) result
 (** Re-enter after an AEX (the enclave sees a0 = 1). *)
+
+val continue_running :
+  t -> tid:int -> core:int -> fuel:int -> ?quantum:int -> unit ->
+  (run_outcome, Sanctorum.Api_error.t) result
+(** Continue a thread that is still [Running] on [core] — the recovery
+    path when a dropped timer interrupt let the fuel budget expire
+    without an AEX. Re-arms [quantum] and resumes without re-entering. *)
+
+val retry_transient :
+  (unit -> 'a Sanctorum.Api_error.result) -> 'a Sanctorum.Api_error.result
+(** Run a monitor transaction, retrying a bounded number of times on
+    [Concurrent_call] (the only transient error class, §V-A). *)
 
 (** {2 Untrusted programs}
 

@@ -10,6 +10,7 @@ type t = {
   sm : Sanctorum.Sm.t;
   os : Os.t;
   rng : Crypto.Drbg.t;
+  seed : string;
 }
 
 let backend_name = function
@@ -42,7 +43,7 @@ let create ?(backend = Sanctum_backend) ?(cores = 4)
   | Some s -> Sanctorum.Sm.set_sink sm s
   | None -> ());
   let os = Os.create sm in
-  { platform; machine; sm; os; rng = Crypto.Drbg.create ~seed }
+  { platform; machine; sm; os; rng = Crypto.Drbg.create ~seed; seed }
 
 let install_signing_enclave t =
   Os.install_enclave t.os Sanctorum.Attestation.signing_image

@@ -10,6 +10,9 @@ type t = {
   sm : Sanctorum.Sm.t;
   os : Os.t;
   rng : Sanctorum_crypto.Drbg.t;  (** deterministic per [seed] *)
+  seed : string;
+      (** the seed this testbed was created with — print it on every
+          failure so the run can be reproduced from the log line *)
 }
 
 val create :

@@ -113,15 +113,7 @@ let create machine =
       end
     in
     go lo;
-    Array.iter
-      (fun (c : Hw.Machine.core) ->
-        Hw.Tlb.flush c.Hw.Machine.tlb;
-        Hw.Cache.flush_all c.Hw.Machine.l1)
-      (Hw.Machine.cores machine);
-    let sink = Hw.Machine.sink machine in
-    if Tel.Sink.enabled sink then
-      Tel.Sink.emit sink ~core:(-1) ~cycles:(Hw.Machine.now machine)
-        (Tel.Event.Tlb_flush { reason = "region-clean-shootdown" })
+    Hw.Machine.tlb_shootdown machine ~reason:"region-clean-shootdown"
   in
   let enter_domain ~(core : Hw.Machine.core) domain =
     Hw.Cache.flush_all core.Hw.Machine.l1;

@@ -79,16 +79,10 @@ let create ?(region_count = default_region_count) machine =
     Hw.Phys_mem.zero_range mem ~pos:lo ~len:(hi - lo);
     flush_llc_range ~lo ~hi;
     (* Region re-allocation requires a TLB shootdown on every core and
-       private caches cannot keep lines of the reassigned region. *)
-    Array.iter
-      (fun (c : Hw.Machine.core) ->
-        Hw.Tlb.flush c.Hw.Machine.tlb;
-        Hw.Cache.flush_all c.Hw.Machine.l1)
-      (Hw.Machine.cores machine);
-    let sink = Hw.Machine.sink machine in
-    if Tel.Sink.enabled sink then
-      Tel.Sink.emit sink ~core:(-1) ~cycles:(Hw.Machine.now machine)
-        (Tel.Event.Tlb_flush { reason = "region-clean-shootdown" })
+       private caches cannot keep lines of the reassigned region. The
+       machine-level protocol retries lost IPIs and quarantines cores
+       that never acknowledge. *)
+    Hw.Machine.tlb_shootdown machine ~reason:"region-clean-shootdown"
   in
   let enter_domain ~(core : Hw.Machine.core) domain =
     (* Cores are time-multiplexed: all per-core microarchitectural

@@ -24,6 +24,11 @@ type payload =
   | Lock_acquired of { lock : string }
   | Lock_released of { lock : string }
   | Guarded_write of { lock : string; field : string }
+  | Fault_injected of { fault : string; detail : string }
+  | Ecc_corrected of { paddr : int }
+  | Machine_check of { paddr : int }
+  | Core_quarantined of { core : int; reason : string }
+  | Shootdown_retry of { target_core : int; attempt : int }
 
 type t = { seq : int; core : int; cycles : int; payload : payload }
 
@@ -47,6 +52,11 @@ let label = function
   | Lock_acquired _ -> "lock:acquire"
   | Lock_released _ -> "lock:release"
   | Guarded_write _ -> "lock:write"
+  | Fault_injected _ -> "fault:inject"
+  | Ecc_corrected _ -> "fault:ecc-corrected"
+  | Machine_check _ -> "fault:machine-check"
+  | Core_quarantined _ -> "recovery:quarantine"
+  | Shootdown_retry _ -> "recovery:shootdown-retry"
 
 let category p =
   let l = label p in
@@ -61,7 +71,9 @@ let phase = function
   | Enclave_created _ | Enclave_initialized _ | Enclave_entered _
   | Enclave_exited _ | Enclave_destroyed _ | Region_granted _ | Region_freed _
   | Domain_switch _ | Tlb_flush _ | Mailbox_sent _ | Mailbox_received _
-  | Dma_transfer _ | Lock_acquired _ | Lock_released _ | Guarded_write _ ->
+  | Dma_transfer _ | Lock_acquired _ | Lock_released _ | Guarded_write _
+  | Fault_injected _ | Ecc_corrected _ | Machine_check _ | Core_quarantined _
+  | Shootdown_retry _ ->
       `Instant
 
 let args = function
@@ -106,6 +118,17 @@ let args = function
       ]
   | Lock_acquired { lock } | Lock_released { lock } -> [ ("lock", lock) ]
   | Guarded_write { lock; field } -> [ ("lock", lock); ("field", field) ]
+  | Fault_injected { fault; detail } ->
+      [ ("fault", fault); ("detail", detail) ]
+  | Ecc_corrected { paddr } -> [ ("paddr", Printf.sprintf "0x%x" paddr) ]
+  | Machine_check { paddr } -> [ ("paddr", Printf.sprintf "0x%x" paddr) ]
+  | Core_quarantined { core; reason } ->
+      [ ("core", string_of_int core); ("reason", reason) ]
+  | Shootdown_retry { target_core; attempt } ->
+      [
+        ("target_core", string_of_int target_core);
+        ("attempt", string_of_int attempt);
+      ]
 
 let pp ppf t =
   let core = if t.core < 0 then "host" else "c" ^ string_of_int t.core in

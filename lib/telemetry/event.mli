@@ -45,6 +45,23 @@ type payload =
   | Guarded_write of { lock : string; field : string }
       (** a lock-guarded monitor field was mutated; consumed by the
           lock-discipline analyzer in [Sanctorum_analysis] *)
+  | Fault_injected of { fault : string; detail : string }
+      (** the fault-injection engine fired a scheduled fault;
+          [fault] is the class label (e.g. ["bitflip"], ["mce"]) *)
+  | Ecc_corrected of { paddr : int }
+      (** the ECC model corrected a single-bit error on an
+          architectural access to [paddr] *)
+  | Machine_check of { paddr : int }
+      (** an uncorrectable (double-bit) error or injected core
+          failure raised a machine-check at [paddr] ([-1] when the
+          check is not tied to a memory address) *)
+  | Core_quarantined of { core : int; reason : string }
+      (** the SM (or the shootdown protocol) removed [core] from
+          service; [reason] is ["machine-check"] or
+          ["shootdown-timeout"] *)
+  | Shootdown_retry of { target_core : int; attempt : int }
+      (** a TLB-shootdown IPI to [target_core] was not acknowledged
+          and is being retried ([attempt] starts at 1) *)
 
 type t = {
   seq : int;  (** global emission order, assigned by the sink *)

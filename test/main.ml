@@ -19,4 +19,5 @@ let () =
       Test_fuzz.suite;
       Test_telemetry.suite;
       Test_analysis.suite;
+      Test_faults.suite;
     ]

@@ -162,6 +162,7 @@ let test_enclave_fault_handler_delivery () =
         | Os.Preempted -> "preempted"
         | Os.Faulted _ -> "faulted"
         | Os.Fuel_exhausted -> "fuel"
+        | Os.Killed -> "killed"
         | Os.Exited -> "exited")
   | Error e -> Alcotest.failf "run: %s" (E.to_string e));
   (* the OS never observed the fault *)

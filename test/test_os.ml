@@ -58,7 +58,7 @@ let test_untrusted_program () =
   let outcome2, _ = Os.run_untrusted_program tb.Testbed.os ~code:bad ~core:0 ~fuel:100 () in
   (match outcome2 with
   | Os.Faulted (Hw.Trap.Exception (Hw.Trap.Page_fault _)) -> ()
-  | Os.Faulted _ | Os.Exited | Os.Preempted | Os.Fuel_exhausted ->
+  | Os.Faulted _ | Os.Exited | Os.Preempted | Os.Fuel_exhausted | Os.Killed ->
       Alcotest.fail "expected page fault")
 
 let test_testbed_determinism () =
