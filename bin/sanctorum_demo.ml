@@ -26,6 +26,7 @@ type tel_opts = {
   audit : bool;
   check_invariants : bool;
       (* run the Sanctorum_analysis snapshot pass after every API call *)
+  slow_sim : bool;  (* disable the simulator fast path (reference mode) *)
 }
 
 let write_file file contents =
@@ -84,6 +85,13 @@ let arm_checker opts sm =
                  An.Report.pp_list vs;
                exit 2))
 
+(* --slow-sim: force the reference stepped interpreter. Architectural
+   results are identical either way (that equivalence is property-
+   tested); the flag exists to demonstrate it from the CLI and to time
+   the difference. *)
+let apply_sim_mode opts tb =
+  if opts.slow_sim then Hw.Machine.set_fast_path tb.Testbed.machine false
+
 let hex8 s = Sanctorum_util.Hex.encode (String.sub s 0 8)
 
 let backend_conv =
@@ -103,6 +111,7 @@ let cmd_boot tel backend =
   with_telemetry tel @@ fun sink ->
   let tb = Testbed.create ~backend ?sink () in
   arm_checker tel tb.Testbed.sm;
+  apply_sim_mode tel tb;
   let sm = tb.Testbed.sm in
   Printf.printf "platform        : %s\n" tb.Testbed.platform.Sanctorum_platform.Platform.name;
   Printf.printf "cores           : %d\n" (Hw.Machine.core_count tb.Testbed.machine);
@@ -123,6 +132,7 @@ let cmd_run tel backend count quantum =
   with_telemetry tel @@ fun sink ->
   let tb = Testbed.create ~backend ?sink () in
   arm_checker tel tb.Testbed.sm;
+  apply_sim_mode tel tb;
   let evbase = 0x10000 in
   let counter = evbase + 4096 in
   let body =
@@ -169,6 +179,7 @@ let cmd_attest tel backend =
   with_telemetry tel @@ fun sink ->
   let tb = Testbed.create ~backend ?sink () in
   arm_checker tel tb.Testbed.sm;
+  apply_sim_mode tel tb;
   match Testbed.install_signing_enclave tb with
   | Error e -> Printf.printf "signing enclave: %s\n" (Sanctorum.Api_error.to_string e)
   | Ok es ->
@@ -192,6 +203,7 @@ let cmd_probe tel backend =
   with_telemetry tel @@ fun sink ->
   let tb = Testbed.create ~backend ?sink () in
   arm_checker tel tb.Testbed.sm;
+  apply_sim_mode tel tb;
   let image = Sanctorum.Image.of_program ~evbase:0x10000 exit_prog in
   match Os.install_enclave tb.Testbed.os image with
   | Error e -> Printf.printf "install: %s\n" (Sanctorum.Api_error.to_string e)
@@ -235,6 +247,7 @@ let cmd_leak tel backend secret =
       ?sink ()
   in
   arm_checker tel tb.Testbed.sm;
+  apply_sim_mode tel tb;
   match Sanctorum_attack.Cache_probe.run tb ~secret () with
   | Error m -> Printf.printf "error: %s\n" m
   | Ok o ->
@@ -436,10 +449,22 @@ let tel_term =
             "Run the $(b,Sanctorum_analysis) snapshot checker after every \
              monitor API call and abort (exit 2) on the first violation.")
   in
-  let mk trace trace_jsonl metrics audit check_invariants =
-    { trace; trace_jsonl; metrics; audit; check_invariants }
+  let slow_sim =
+    Arg.(
+      value & flag
+      & info [ "slow-sim" ]
+          ~doc:
+            "Disable the simulator's predecode/fetch fast path and run the \
+             reference stepped interpreter. Architecturally identical (the \
+             equivalence is property-tested); useful for timing comparisons \
+             and for ruling the fast path out when debugging.")
   in
-  Term.(const mk $ trace $ trace_jsonl $ metrics $ audit $ check_invariants)
+  let mk trace trace_jsonl metrics audit check_invariants slow_sim =
+    { trace; trace_jsonl; metrics; audit; check_invariants; slow_sim }
+  in
+  Term.(
+    const mk $ trace $ trace_jsonl $ metrics $ audit $ check_invariants
+    $ slow_sim)
 
 let boot_cmd =
   Cmd.v (Cmd.info "boot" ~doc:"Boot the stack and print the monitor's identity.")

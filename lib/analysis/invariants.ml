@@ -309,7 +309,7 @@ let check_cores ctx =
         if not c.Hw.Machine.halted then
           flag ctx "core.quarantine" ~subject
             "quarantined core is not halted";
-        if c.Hw.Machine.pending_interrupts <> [] then
+        if not (Queue.is_empty c.Hw.Machine.pending_interrupts) then
           flag ctx "core.quarantine" ~subject
             "quarantined core still has pending interrupts";
         if c.Hw.Machine.timer_cmp <> None then

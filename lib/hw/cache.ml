@@ -10,8 +10,12 @@ type config = {
 
 type t = {
   cfg : config;
+  line_shift : int; (* log2 line_bytes: tag/index without division *)
+  set_mask : int; (* sets - 1 *)
   lines : line array array; (* [set].[way] *)
+  mru : int array; (* per set: way of the last hit or fill, probed first *)
   mutable index_fn : int -> int;
+  mutable default_index : bool; (* skip the closure call until overridden *)
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
@@ -32,47 +36,90 @@ let create cfg =
   let lines =
     Array.init cfg.sets (fun _ -> Array.init cfg.ways (fun _ -> mk_line ()))
   in
-  let default_index paddr = paddr / cfg.line_bytes mod cfg.sets in
+  let line_shift = Sanctorum_util.Bits.log2 cfg.line_bytes in
+  let default_index paddr = (paddr lsr line_shift) land (cfg.sets - 1) in
   {
     cfg;
+    line_shift;
+    set_mask = cfg.sets - 1;
     lines;
+    mru = Array.make cfg.sets 0;
     index_fn = default_index;
+    default_index = true;
     tick = 0;
     hits = 0;
     misses = 0;
   }
 
 let config t = t.cfg
-let set_index_fn t f = t.index_fn <- f
+
+let set_index_fn t f =
+  t.index_fn <- f;
+  t.default_index <- false
 let set_of_paddr t paddr = t.index_fn paddr
-let tag_of t paddr = paddr / t.cfg.line_bytes
+let tag_of t paddr = paddr lsr t.line_shift
+
+(* Early-exit scans. Tags are unique within a set (a fill only happens
+   after a whole-set miss), so the first match is the only match. *)
+let rec scan_tag set tag w n =
+  if w >= n then -1
+  else
+    let l = set.(w) in
+    if l.valid && l.tag = tag then w else scan_tag set tag (w + 1) n
+
+let rec first_invalid set w n =
+  if w >= n then -1
+  else if not set.(w).valid then w
+  else first_invalid set (w + 1) n
+
+(* Strict [<] keeps the lowest-indexed way among LRU ties — the same
+   way the original whole-set fold picked. *)
+let rec min_lru set best w n =
+  if w >= n then best
+  else min_lru set (if set.(w).lru < set.(best).lru then w else best) (w + 1) n
+
+let access_hit t ~paddr =
+  t.tick <- t.tick + 1;
+  let si =
+    if t.default_index then (paddr lsr t.line_shift) land t.set_mask
+    else t.index_fn paddr land t.set_mask
+  in
+  (* [si] is masked to [0, sets) and stored MRU ways are always valid
+     way indices, so the unchecked reads cannot go out of bounds. *)
+  let set = Array.unsafe_get t.lines si in
+  let tag = paddr lsr t.line_shift in
+  let ways = Array.length set in
+  let hit_way =
+    let mw = Array.unsafe_get t.mru si in
+    let m = Array.unsafe_get set mw in
+    if m.valid && m.tag = tag then mw else scan_tag set tag 0 ways
+  in
+  if hit_way >= 0 then begin
+    let l = Array.unsafe_get set hit_way in
+    l.lru <- t.tick;
+    t.hits <- t.hits + 1;
+    Array.unsafe_set t.mru si hit_way;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (* Fill: prefer the first invalid way, else evict the LRU way. *)
+    let vw =
+      match first_invalid set 0 ways with
+      | w when w >= 0 -> w
+      | _ -> min_lru set 0 1 ways
+    in
+    let l = set.(vw) in
+    l.valid <- true;
+    l.tag <- tag;
+    l.lru <- t.tick;
+    t.mru.(si) <- vw;
+    false
+  end
 
 let access t ~paddr =
-  t.tick <- t.tick + 1;
-  let set = t.lines.(t.index_fn paddr land (t.cfg.sets - 1)) in
-  let tag = tag_of t paddr in
-  let hit = ref None in
-  Array.iter (fun l -> if l.valid && l.tag = tag then hit := Some l) set;
-  match !hit with
-  | Some l ->
-      l.lru <- t.tick;
-      t.hits <- t.hits + 1;
-      (true, t.cfg.hit_cycles)
-  | None ->
-      t.misses <- t.misses + 1;
-      (* Fill: prefer an invalid way, else evict the LRU way. *)
-      let victim = ref set.(0) in
-      Array.iter
-        (fun l ->
-          if not l.valid then begin
-            if !victim.valid then victim := l
-          end
-          else if !victim.valid && l.lru < !victim.lru then victim := l)
-        set;
-      !victim.valid <- true;
-      !victim.tag <- tag;
-      !victim.lru <- t.tick;
-      (false, t.cfg.miss_cycles)
+  if access_hit t ~paddr then (true, t.cfg.hit_cycles)
+  else (false, t.cfg.miss_cycles)
 
 let probe t ~paddr =
   let set = t.lines.(t.index_fn paddr land (t.cfg.sets - 1)) in

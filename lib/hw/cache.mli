@@ -30,7 +30,13 @@ val set_index_fn : t -> (int -> int) -> unit
 
 val access : t -> paddr:int -> bool * int
 (** [access t ~paddr] touches the line holding [paddr]; returns
-    [(hit, cycles)] and updates LRU/fill state. *)
+    [(hit, cycles)] and updates LRU/fill state. Convenience wrapper
+    around {!access_hit}; allocates the result pair. *)
+
+val access_hit : t -> paddr:int -> bool
+(** Allocation-free {!access}: same LRU/fill/statistics side effects,
+    returns only whether the access hit. The caller derives the cycle
+    cost from {!config} ([hit_cycles] / [miss_cycles]). *)
 
 val probe : t -> paddr:int -> bool
 (** Non-destructive lookup: would this access hit? (Used by attack

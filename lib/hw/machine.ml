@@ -14,7 +14,7 @@ type core = {
   l1 : Cache.t;
   pmp : Pmp.t;
   mutable timer_cmp : int option;
-  mutable pending_interrupts : Trap.interrupt list;
+  pending_interrupts : Trap.interrupt Queue.t;
 }
 
 (* Hooks the fault-injection engine (lib/faults) installs to perturb
@@ -46,13 +46,37 @@ type hw_counters = {
   c_tlb_misses : Tel.Metrics.counter;
   c_ptw_steps : Tel.Metrics.counter;
   c_instret : Tel.Metrics.counter;
+  c_ecc_corrected : Tel.Metrics.counter;
+  c_ecc_uncorrectable : Tel.Metrics.counter;
 }
+
+(* Per-core fetch-translation cache: the last successful instruction
+   fetch, as (virtual page → physical page base) plus everything that
+   translation depended on — the satp root and the TLB generation. A
+   fetch whose PC stays in the page reuses the paddr without walking;
+   any mismatch falls back to the full slow path, which refreshes the
+   cache. All-int fields so the validity test allocates nothing. *)
+type fetch_state = {
+  mutable f_valid : bool;
+  mutable f_vpn : int;  (* virtual page number of the cached fetch *)
+  mutable f_pbase : int;  (* physical page base it translated to *)
+  mutable f_satp : int;  (* satp root PPN at fill time; -1 = bare *)
+  mutable f_gen : int;  (* [Tlb.generation] at fill time *)
+}
+
+(* One predecoded slot per 4-byte instruction word of a physical page.
+   [Dbad] keeps the raw word so the [Illegal_instruction] trap payload
+   is bit-identical to a fresh decode. *)
+type dslot = Dempty | Dinstr of Isa.t | Dbad of int32
 
 type t = {
   mem : Phys_mem.t;
   cores : core array;
   l2 : Cache.t;
   cfg : config;
+  fetch : fetch_state array;  (* indexed by core id *)
+  decode_pages : dslot array option array;  (* indexed by physical page *)
+  mutable fast_path : bool;
   mutable phys_check : core:core -> access:Trap.access -> paddr:int -> bool;
   mutable pte_fetch_check : core:core -> paddr:int -> bool;
   mutable dma_check : paddr:int -> len:int -> bool;
@@ -65,6 +89,12 @@ type t = {
 
 exception Fault of Trap.exception_cause
 
+(* Local copies of the 4 KiB page geometry so the hot paths compile to
+   a shift and a mask instead of cross-module loads and divisions. *)
+let page_shift = 12
+let page_mask = 0xfff
+let () = assert (Phys_mem.page_size = 1 lsl page_shift)
+
 let default_config =
   {
     mem_bytes = 16 * 1024 * 1024;
@@ -74,6 +104,22 @@ let default_config =
     tlb_entries = 32;
     pte_fetch_cycles = 12;
   }
+
+(* Drop every predecoded slot overlapping the dirtied byte range.
+   Fired by the [Phys_mem] write hook on every mutation of the stored
+   bytes, so self-modifying code, DMA, zeroing and injected bit flips
+   can never execute a stale decode. *)
+let invalidate_decode t ~pos ~len =
+  if len > 0 then begin
+    let n = Array.length t.decode_pages in
+    let p0 = pos lsr page_shift in
+    let p1 = (pos + len - 1) lsr page_shift in
+    let p0 = if p0 < 0 then 0 else p0 in
+    let p1 = if p1 >= n then n - 1 else p1 in
+    for p = p0 to p1 do
+      t.decode_pages.(p) <- None
+    done
+  end
 
 let create cfg =
   let mk_core id =
@@ -91,15 +137,22 @@ let create cfg =
       l1 = Cache.create cfg.l1;
       pmp = Pmp.create ();
       timer_cmp = None;
-      pending_interrupts = [];
+      pending_interrupts = Queue.create ();
     }
   in
-  {
-    mem = Phys_mem.create ~size:cfg.mem_bytes;
-    cores = Array.init cfg.cores mk_core;
-    l2 = Cache.create cfg.l2;
-    cfg;
-    phys_check = (fun ~core:_ ~access:_ ~paddr:_ -> true);
+  let mk_fetch _ =
+    { f_valid = false; f_vpn = 0; f_pbase = 0; f_satp = -1; f_gen = 0 }
+  in
+  let t =
+    {
+      mem = Phys_mem.create ~size:cfg.mem_bytes;
+      cores = Array.init cfg.cores mk_core;
+      l2 = Cache.create cfg.l2;
+      cfg;
+      fetch = Array.init cfg.cores mk_fetch;
+      decode_pages = Array.make (cfg.mem_bytes / Phys_mem.page_size) None;
+      fast_path = true;
+      phys_check = (fun ~core:_ ~access:_ ~paddr:_ -> true);
     pte_fetch_check = (fun ~core:_ ~paddr:_ -> true);
     dma_check = (fun ~paddr:_ ~len:_ -> true);
     trap_handler =
@@ -107,11 +160,23 @@ let create cfg =
         Format.eprintf "machine: unhandled trap on core %d: %a@." core.id
           Trap.pp_cause cause;
         core.halted <- true);
-    sink = Tel.Sink.null;
-    ctrs = None;
-    fault_hooks = None;
-    quarantine_handler = None;
-  }
+      sink = Tel.Sink.null;
+      ctrs = None;
+      fault_hooks = None;
+      quarantine_handler = None;
+    }
+  in
+  Phys_mem.set_write_hook t.mem
+    (Some (fun ~pos ~len -> invalidate_decode t ~pos ~len));
+  t
+
+let set_fast_path t enabled =
+  t.fast_path <- enabled;
+  (* Invalidate on disable so a later re-enable starts from scratch;
+     the per-fetch validity checks would catch stale entries anyway. *)
+  if not enabled then Array.iter (fun fs -> fs.f_valid <- false) t.fetch
+
+let fast_path t = t.fast_path
 
 let set_sink t sink =
   t.sink <- sink;
@@ -130,6 +195,8 @@ let set_sink t sink =
             c_tlb_misses = c "hw.tlb.misses";
             c_ptw_steps = c "hw.ptw.steps";
             c_instret = c "hw.instret";
+            c_ecc_corrected = c "hw.ecc.corrected";
+            c_ecc_uncorrectable = c "hw.ecc.uncorrectable";
           })
 
 let sink t = t.sink
@@ -163,8 +230,7 @@ let post_interrupt t ~core irq =
   let c = t.cores.(core) in
   (* a quarantined core is fenced off the interconnect: interrupts
      aimed at it are dropped, never queued *)
-  if not c.quarantined then
-    c.pending_interrupts <- c.pending_interrupts @ [ irq ]
+  if not c.quarantined then Queue.add irq c.pending_interrupts
 
 (* ECC runs in the memory controller: every architectural access
    (instruction fetch, load/store, PTE fetch, DMA) scrubs the words it
@@ -179,19 +245,19 @@ let ecc_check_exn t ~core_id ~cycles ~pos ~len =
     match Phys_mem.scrub t.mem ~pos ~len with
     | `Clean -> ()
     | `Corrected n ->
-        if Tel.Sink.enabled t.sink then begin
-          for _ = 1 to n do
-            Tel.Sink.incr_counter t.sink "hw.ecc.corrected"
-          done;
+        (match t.ctrs with
+        | Some c -> Tel.Metrics.add c.c_ecc_corrected n
+        | None -> ());
+        if Tel.Sink.enabled t.sink then
           Tel.Sink.emit t.sink ~core:core_id ~cycles
             (Tel.Event.Ecc_corrected { paddr = pos })
-        end
     | `Uncorrectable paddr ->
-        if Tel.Sink.enabled t.sink then begin
-          Tel.Sink.incr_counter t.sink "hw.ecc.uncorrectable";
+        (match t.ctrs with
+        | Some c -> Tel.Metrics.incr c.c_ecc_uncorrectable
+        | None -> ());
+        if Tel.Sink.enabled t.sink then
           Tel.Sink.emit t.sink ~core:core_id ~cycles
-            (Tel.Event.Machine_check { paddr })
-        end;
+            (Tel.Event.Machine_check { paddr });
         raise (Fault (Trap.Machine_check paddr))
 
 let tlb_perms_allow (perms : Tlb.perms) (access : Trap.access) =
@@ -212,46 +278,50 @@ let translate_exn t core ~access ~vaddr =
     | None -> va
     | Some root ->
         let vpn = va lsr 12 in
-        let ppn, perms =
-          match Tlb.lookup core.tlb ~vpn with
-          | Some hit ->
-              (match t.ctrs with
-              | Some c -> Tel.Metrics.incr c.c_tlb_hits
-              | None -> ());
-              hit
-          | None -> begin
-              (match t.ctrs with
-              | Some c -> Tel.Metrics.incr c.c_tlb_misses
-              | None -> ());
-              let pte_fetch_ok paddr =
-                ecc_check_exn t ~core_id:core.id ~cycles:core.cycles
-                  ~pos:paddr ~len:8;
-                t.pte_fetch_check ~core ~paddr
+        let slot = Tlb.find core.tlb ~vpn in
+        if slot >= 0 then begin
+          (* TLB hit: the whole translation is slot reads and integer
+             arithmetic — no allocation. *)
+          (match t.ctrs with
+          | Some c -> Tel.Metrics.incr c.c_tlb_hits
+          | None -> ());
+          let perms = Tlb.slot_perms core.tlb slot in
+          if not (tlb_perms_allow perms access) then
+            raise (Fault (Trap.Page_fault (access, vaddr)));
+          Phys_mem.page_base (Tlb.slot_ppn core.tlb slot)
+          lor (va land page_mask)
+        end
+        else begin
+          (match t.ctrs with
+          | Some c -> Tel.Metrics.incr c.c_tlb_misses
+          | None -> ());
+          let pte_fetch_ok paddr =
+            ecc_check_exn t ~core_id:core.id ~cycles:core.cycles ~pos:paddr
+              ~len:8;
+            t.pte_fetch_check ~core ~paddr
+          in
+          let steps =
+            Page_table.walk_cost_levels t.mem ~root_ppn:root ~vaddr:va
+              ~pte_fetch_ok
+          in
+          (match t.ctrs with
+          | Some c -> Tel.Metrics.add c.c_ptw_steps steps
+          | None -> ());
+          core.cycles <- core.cycles + (steps * t.cfg.pte_fetch_cycles);
+          match Page_table.walk t.mem ~root_ppn:root ~vaddr:va ~pte_fetch_ok with
+          | Error Page_table.Invalid_mapping ->
+              raise (Fault (Trap.Page_fault (access, vaddr)))
+          | Error (Page_table.Walk_access_denied _) ->
+              raise (Fault (Trap.Access_fault (access, vaddr)))
+          | Ok (ppn, p) ->
+              let perms : Tlb.perms =
+                { r = p.Page_table.r; w = p.w; x = p.x; u = p.u }
               in
-              let steps =
-                Page_table.walk_cost_levels t.mem ~root_ppn:root ~vaddr:va
-                  ~pte_fetch_ok
-              in
-              (match t.ctrs with
-              | Some c -> Tel.Metrics.add c.c_ptw_steps steps
-              | None -> ());
-              core.cycles <- core.cycles + (steps * t.cfg.pte_fetch_cycles);
-              match Page_table.walk t.mem ~root_ppn:root ~vaddr:va ~pte_fetch_ok with
-              | Error Page_table.Invalid_mapping ->
-                  raise (Fault (Trap.Page_fault (access, vaddr)))
-              | Error (Page_table.Walk_access_denied _) ->
-                  raise (Fault (Trap.Access_fault (access, vaddr)))
-              | Ok (ppn, p) ->
-                  let perms : Tlb.perms =
-                    { r = p.Page_table.r; w = p.w; x = p.x; u = p.u }
-                  in
-                  Tlb.insert core.tlb ~vpn ~ppn ~perms;
-                  (ppn, perms)
-            end
-        in
-        if not (tlb_perms_allow perms access) then
-          raise (Fault (Trap.Page_fault (access, vaddr)));
-        Phys_mem.page_base ppn lor (va land (Phys_mem.page_size - 1))
+              Tlb.insert core.tlb ~vpn ~ppn ~perms;
+              if not (tlb_perms_allow perms access) then
+                raise (Fault (Trap.Page_fault (access, vaddr)));
+              Phys_mem.page_base ppn lor (va land page_mask)
+        end
   in
   if paddr + 8 > Phys_mem.size t.mem then
     raise (Fault (Trap.Access_fault (access, vaddr)));
@@ -264,31 +334,35 @@ let translate t core ~access ~vaddr =
   | paddr -> Ok paddr
   | exception Fault f -> Error f
 
+(* Charge the cache hierarchy (L1, on miss also L2) for one access. *)
+let charge_cache t (core : core) ~paddr =
+  let cost =
+    if Cache.access_hit core.l1 ~paddr then begin
+      (match t.ctrs with
+      | Some c -> Tel.Metrics.incr c.c_l1_hits
+      | None -> ());
+      t.cfg.l1.Cache.hit_cycles
+    end
+    else begin
+      let l2_hit = Cache.access_hit t.l2 ~paddr in
+      (match t.ctrs with
+      | Some c ->
+          Tel.Metrics.incr c.c_l1_misses;
+          Tel.Metrics.incr (if l2_hit then c.c_l2_hits else c.c_l2_misses)
+      | None -> ());
+      t.cfg.l1.Cache.miss_cycles
+      + if l2_hit then t.cfg.l2.Cache.hit_cycles else t.cfg.l2.Cache.miss_cycles
+    end
+  in
+  core.cycles <- core.cycles + cost
+
 (* Charge the cache hierarchy for an access and return the paddr. *)
 let cached_access t core ~access ~vaddr ~size =
   if Int64.rem vaddr (Int64.of_int size) <> 0L then
     raise (Fault (Trap.Misaligned (access, vaddr)));
   let paddr = translate_exn t core ~access ~vaddr in
   ecc_check_exn t ~core_id:core.id ~cycles:core.cycles ~pos:paddr ~len:size;
-  let l1_hit, l1_cycles = Cache.access core.l1 ~paddr in
-  let cost =
-    if l1_hit then begin
-      (match t.ctrs with
-      | Some c -> Tel.Metrics.incr c.c_l1_hits
-      | None -> ());
-      l1_cycles
-    end
-    else begin
-      let l2_hit, l2_cycles = Cache.access t.l2 ~paddr in
-      (match t.ctrs with
-      | Some c ->
-          Tel.Metrics.incr c.c_l1_misses;
-          Tel.Metrics.incr (if l2_hit then c.c_l2_hits else c.c_l2_misses)
-      | None -> ());
-      l1_cycles + l2_cycles
-    end
-  in
-  core.cycles <- core.cycles + cost;
+  charge_cache t core ~paddr;
   paddr
 
 let load t core ~op ~vaddr =
@@ -366,7 +440,7 @@ let quarantine t ~core ~reason =
     c.quarantined <- true;
     c.halted <- true;
     c.timer_cmp <- None;
-    c.pending_interrupts <- [];
+    Queue.clear c.pending_interrupts;
     if Tel.Sink.enabled t.sink then begin
       Tel.Sink.incr_counter t.sink "hw.core.quarantined";
       Tel.Sink.emit t.sink ~core:(-1) ~cycles:(now t)
@@ -419,11 +493,12 @@ let tlb_shootdown t ~reason =
 let raise_machine_check t ~core ~paddr =
   let c = t.cores.(core) in
   if not (c.halted || c.quarantined) then begin
-    if Tel.Sink.enabled t.sink then begin
-      Tel.Sink.incr_counter t.sink "hw.ecc.uncorrectable";
+    (match t.ctrs with
+    | Some ctrs -> Tel.Metrics.incr ctrs.c_ecc_uncorrectable
+    | None -> ());
+    if Tel.Sink.enabled t.sink then
       Tel.Sink.emit t.sink ~core:c.id ~cycles:c.cycles
-        (Tel.Event.Machine_check { paddr })
-    end;
+        (Tel.Event.Machine_check { paddr });
     deliver_trap t c (Trap.Exception (Trap.Machine_check paddr))
   end
 
@@ -449,16 +524,14 @@ let check_interrupts t core =
     end
     else false
   end
+  else if Queue.is_empty core.pending_interrupts then false
   else begin
-    match core.pending_interrupts with
-    | [] -> false
-    | irq :: rest ->
-        core.pending_interrupts <- rest;
-        if irq_allowed t core irq then begin
-          deliver_trap t core (Trap.Interrupt irq);
-          true
-        end
-        else false
+    let irq = Queue.pop core.pending_interrupts in
+    if irq_allowed t core irq then begin
+      deliver_trap t core (Trap.Interrupt irq);
+      true
+    end
+    else false
   end
 
 let execute t core instr =
@@ -511,6 +584,84 @@ let execute t core instr =
   | Ecall -> deliver_trap t core (Trap.Exception Trap.Ecall_user)
   | Ebreak -> deliver_trap t core (Trap.Exception Trap.Breakpoint)
 
+(* Decode [paddr]'s word through the per-page predecode cache. Only
+   called on architecturally clean bytes (the fetch path scrubs, the
+   fast path requires no pending faults), so a cached slot always
+   reflects what a fresh decode of memory would produce. Never returns
+   [Dempty]. *)
+let decode_at t paddr =
+  let ppn = paddr lsr page_shift in
+  let page =
+    match t.decode_pages.(ppn) with
+    | Some page -> page
+    | None ->
+        let page = Array.make (Phys_mem.page_size / 4) Dempty in
+        t.decode_pages.(ppn) <- Some page;
+        page
+  in
+  let slot = (paddr land page_mask) lsr 2 in
+  match page.(slot) with
+  | Dempty ->
+      let word = Phys_mem.read_u32 t.mem paddr in
+      let d =
+        match Isa.decode word with Some i -> Dinstr i | None -> Dbad word
+      in
+      page.(slot) <- d;
+      d
+  | d -> d
+
+(* Refresh the fetch-translation cache after a successful slow-path
+   fetch of [core.pc] that resolved to [paddr]. *)
+let fetch_fill t core ~paddr =
+  let fs = t.fetch.(core.id) in
+  fs.f_valid <- true;
+  fs.f_vpn <- Int64.to_int core.pc lsr page_shift;
+  fs.f_pbase <- paddr land lnot page_mask;
+  fs.f_satp <- (match core.satp_root with None -> -1 | Some r -> r);
+  fs.f_gen <- Tlb.generation core.tlb
+
+(* The fetch fast path: reuse the cached translation when the PC is
+   aligned and in the cached page, the satp root and TLB contents are
+   unchanged since the fill, and no ECC fault is pending (so the scrub
+   the slow path would run is a no-op). The physical-isolation check
+   reruns every time — Keystone reprograms PMP without a TLB flush, so
+   it is the one input the generation counter does not cover; both
+   backends install pure checks. Returns the fetch paddr or -1 for the
+   full slow path; -1 is always safe because the slow path
+   re-establishes everything from scratch. *)
+let fast_fetch_paddr t core =
+  let fs = t.fetch.(core.id) in
+  let pcv = Int64.to_int core.pc in
+  if
+    fs.f_valid
+    && pcv land 3 = 0
+    && pcv lsr page_shift = fs.f_vpn
+    && (match core.satp_root with
+       | None -> fs.f_satp = -1
+       | Some r -> fs.f_satp = r)
+    && Tlb.generation core.tlb = fs.f_gen
+    && Phys_mem.pending_faults t.mem = 0
+  then begin
+    let paddr = fs.f_pbase lor (pcv land page_mask) in
+    if
+      paddr + 8 <= Phys_mem.size t.mem
+      && t.phys_check ~core ~access:Trap.Execute ~paddr
+    then paddr
+    else -1
+  end
+  else -1
+
+(* Retire one instruction: identical accounting on both fetch paths. *)
+let dispatch t core instr =
+  core.cycles <- core.cycles + 1;
+  match execute t core instr with
+  | () ->
+      core.instret <- core.instret + 1;
+      (match t.ctrs with
+      | Some c -> Tel.Metrics.incr c.c_instret
+      | None -> ())
+  | exception Fault f -> deliver_trap t core (Trap.Exception f)
+
 let step t core =
   (match t.fault_hooks with
   | Some h -> h.tick ~core:core.id ~cycles:core.cycles
@@ -518,28 +669,171 @@ let step t core =
   if core.halted then ()
   else if check_interrupts t core then ()
   else begin
-    match
-      let paddr =
+    let fast_paddr = if t.fast_path then fast_fetch_paddr t core else -1 in
+    if fast_paddr >= 0 then begin
+      (* Mirror the slow path's accounting exactly: a paging-mode fetch
+         would have hit the TLB (generation unchanged since the entry
+         served the fill), and the cache model is charged either way. *)
+      if t.fetch.(core.id).f_satp >= 0 then begin
+        Tlb.note_hit core.tlb;
+        match t.ctrs with
+        | Some c -> Tel.Metrics.incr c.c_tlb_hits
+        | None -> ()
+      end;
+      charge_cache t core ~paddr:fast_paddr;
+      match decode_at t fast_paddr with
+      | Dinstr instr -> dispatch t core instr
+      | Dbad word ->
+          deliver_trap t core (Trap.Exception (Trap.Illegal_instruction word))
+      | Dempty -> assert false
+    end
+    else begin
+      match
         cached_access t core ~access:Trap.Execute ~vaddr:core.pc ~size:4
-      in
-      Phys_mem.read_u32 t.mem paddr
-    with
-    | exception Fault f -> deliver_trap t core (Trap.Exception f)
-    | word -> begin
-        match Isa.decode word with
-        | None -> deliver_trap t core (Trap.Exception (Trap.Illegal_instruction word))
-        | Some instr -> begin
-            core.cycles <- core.cycles + 1;
-            match execute t core instr with
-            | () ->
-                core.instret <- core.instret + 1;
-                (match t.ctrs with
-                | Some c -> Tel.Metrics.incr c.c_instret
-                | None -> ())
-            | exception Fault f -> deliver_trap t core (Trap.Exception f)
+      with
+      | exception Fault f -> deliver_trap t core (Trap.Exception f)
+      | paddr ->
+          if t.fast_path then begin
+            fetch_fill t core ~paddr;
+            match decode_at t paddr with
+            | Dinstr instr -> dispatch t core instr
+            | Dbad word ->
+                deliver_trap t core
+                  (Trap.Exception (Trap.Illegal_instruction word))
+            | Dempty -> assert false
           end
-      end
+          else begin
+            (* fast path disabled: the seed pipeline, byte for byte *)
+            let word = Phys_mem.read_u32 t.mem paddr in
+            match Isa.decode word with
+            | None ->
+                deliver_trap t core
+                  (Trap.Exception (Trap.Illegal_instruction word))
+            | Some instr -> dispatch t core instr
+          end
+    end
   end
+
+(* Instructions eligible for block execution: they touch no memory and
+   can raise no trap, so executing one changes nothing that [step]'s
+   per-instruction checks depend on — satp, the TLB, physical memory,
+   the predecode cache, the interrupt queue and the timer all stay
+   fixed across the block. *)
+let block_safe instr =
+  match (instr : Isa.t) with
+  | Load _ | Store _ | Ecall | Ebreak -> false
+  | Lui _ | Auipc _ | Jal _ | Jalr _ | Branch _ | Op_imm _ | Op _ | Mul _
+  | Csr_read_cycle _ | Fence ->
+      true
+
+(* Run up to [fuel] consecutive block-safe instructions whose fetches
+   stay in the currently cached (and already predecoded) page, paying
+   the exact per-instruction accounting [step] would: TLB hit + cache
+   charge + cycles + instret per fetch, with the physical-isolation
+   check re-evaluated every time. Only called from [run] when no fault
+   hooks are armed, the timer is off and no interrupt is pending —
+   conditions no block-safe instruction can change, so checking them
+   once per block equals checking them once per step.
+
+   The executor inlines [execute]'s block-safe arms with the PC kept
+   as an unboxed int. [Int64.to_int] drops the top bit of an aliased
+   PC; [pc_hi] preserves it and link values and the written-back PC
+   re-add it, which equals carrying it through [execute]'s int64
+   arithmetic (PC-relative flow never changes the dropped bits, and a
+   register-target [Jalr] writes the architectural int64 directly and
+   ends the block). Returns instructions retired; 0 means [step] must
+   take over. *)
+let exec_block t core ~fuel =
+  let fs = t.fetch.(core.id) in
+  let fp0 = fast_fetch_paddr t core in
+  if fp0 < 0 then 0
+  else
+    match t.decode_pages.(fp0 lsr page_shift) with
+    | None -> 0 (* not predecoded yet: let the stepped path fill it *)
+    | Some page ->
+        let vpn = fs.f_vpn and pbase = fs.f_pbase in
+        let paging = fs.f_satp >= 0 in
+        let pcv0 = Int64.to_int core.pc in
+        let pc_hi = Int64.sub core.pc (Int64.of_int pcv0) in
+        let to_pc v = Int64.add pc_hi (Int64.of_int v) in
+        let executed = ref 0 in
+        let pcv = ref pcv0 in
+        let wrote_pc = ref false in
+        let continue = ref true in
+        while !continue && !executed < fuel do
+          let p = !pcv in
+          if p land 3 <> 0 || p lsr page_shift <> vpn then continue := false
+          else
+            let paddr = pbase lor (p land page_mask) in
+            if not (t.phys_check ~core ~access:Trap.Execute ~paddr) then
+              continue := false
+            else
+              match page.((paddr land page_mask) lsr 2) with
+              | Dinstr instr when block_safe instr ->
+                  if paging then begin
+                    Tlb.note_hit core.tlb;
+                    match t.ctrs with
+                    | Some c -> Tel.Metrics.incr c.c_tlb_hits
+                    | None -> ()
+                  end;
+                  charge_cache t core ~paddr;
+                  core.cycles <- core.cycles + 1;
+                  (match (instr : Isa.t) with
+                  | Op_imm (op, rd, rs1, imm) ->
+                      write_reg core rd
+                        (alu op (read_reg core rs1) (Int64.of_int imm));
+                      pcv := p + 4
+                  | Op (op, rd, rs1, rs2) ->
+                      write_reg core rd
+                        (alu op (read_reg core rs1) (read_reg core rs2));
+                      pcv := p + 4
+                  | Branch (op, rs1, rs2, off) ->
+                      pcv :=
+                        if
+                          branch_taken op (read_reg core rs1)
+                            (read_reg core rs2)
+                        then p + off
+                        else p + 4
+                  | Lui (rd, imm) ->
+                      write_reg core rd
+                        (Int64.shift_left (Int64.of_int imm) 12);
+                      pcv := p + 4
+                  | Auipc (rd, imm) ->
+                      write_reg core rd
+                        (Int64.add (to_pc p)
+                           (Int64.shift_left (Int64.of_int imm) 12));
+                      pcv := p + 4
+                  | Jal (rd, off) ->
+                      write_reg core rd (to_pc (p + 4));
+                      pcv := p + off
+                  | Jalr (rd, rs1, imm) ->
+                      let target =
+                        Int64.logand
+                          (Int64.add (read_reg core rs1) (Int64.of_int imm))
+                          (Int64.lognot 1L)
+                      in
+                      write_reg core rd (to_pc (p + 4));
+                      core.pc <- target;
+                      wrote_pc := true;
+                      continue := false
+                  | Mul (rd, rs1, rs2) ->
+                      write_reg core rd
+                        (Int64.mul (read_reg core rs1) (read_reg core rs2));
+                      pcv := p + 4
+                  | Csr_read_cycle rd ->
+                      write_reg core rd (Int64.of_int core.cycles);
+                      pcv := p + 4
+                  | Fence -> pcv := p + 4
+                  | Load _ | Store _ | Ecall | Ebreak -> assert false);
+                  core.instret <- core.instret + 1;
+                  (match t.ctrs with
+                  | Some c -> Tel.Metrics.incr c.c_instret
+                  | None -> ());
+                  incr executed
+              | _ -> continue := false
+        done;
+        if not !wrote_pc then core.pc <- to_pc !pcv;
+        !executed
 
 let run t ~core ~fuel =
   let c = t.cores.(core) in
@@ -547,12 +841,27 @@ let run t ~core ~fuel =
   let budget = ref fuel in
   while (not c.halted) && !budget > 0 do
     let before = c.instret in
-    step t c;
+    (if
+       t.fast_path && t.fault_hooks = None
+       && c.timer_cmp = None
+       && Queue.is_empty c.pending_interrupts
+     then begin
+       let n = exec_block t c ~fuel:!budget in
+       if n = 0 then step t c
+     end
+     else step t c);
     (* Trap deliveries retire no instruction; still consume fuel so a
        fault loop cannot hang the simulation. *)
     budget := !budget - max 1 (c.instret - before)
   done;
   c.instret - start
+
+(* The fault engine's entry point for memory corruption. Routing it
+   through the machine (rather than straight into [Phys_mem]) keeps
+   the invalidation contract in one place: the write hook installed at
+   [create] drops any predecoded instructions for the touched page, so
+   an injected flip can never execute as a stale decode. *)
+let inject_bit_flip t ~paddr ~bit = Phys_mem.inject_bit_flip t.mem ~paddr ~bit
 
 let trace_dma t ~write ~paddr ~len ~granted =
   if Tel.Sink.enabled t.sink then begin

@@ -28,7 +28,9 @@ type core = {
   pmp : Pmp.t;
   mutable timer_cmp : int option;
       (** deliver a timer interrupt when [cycles >= cmp] *)
-  mutable pending_interrupts : Trap.interrupt list;
+  pending_interrupts : Trap.interrupt Queue.t;
+      (** delivered FIFO by {!step}, one per step, after any due timer;
+          {!post_interrupt} enqueues in O(1) *)
 }
 
 type fault_hooks = {
@@ -75,7 +77,11 @@ val active_root_ppns : t -> int list
 val set_phys_check :
   t -> (core:core -> access:Trap.access -> paddr:int -> bool) -> unit
 (** Decide whether the domain executing on [core] may touch [paddr].
-    Applied to every data/fetch access after translation. *)
+    Applied to every data/fetch access after translation. The check
+    must be pure: the fetch fast path re-evaluates it on every fetch
+    (it is the one translation input with no change counter — Keystone
+    reprograms PMP without a TLB flush) and a fast-path miss evaluates
+    it a second time on the slow path. *)
 
 val set_pte_fetch_check : t -> (core:core -> paddr:int -> bool) -> unit
 (** The Sanctum page-walk invariant: approve each PTE fetch address. *)
@@ -136,6 +142,22 @@ val now : t -> int
     count over all cores. *)
 
 (** {2 Execution} *)
+
+val set_fast_path : t -> bool -> unit
+(** Enable (default) or disable the simulator's host-side fast path: a
+    per-core fetch-translation cache plus a per-physical-page
+    predecoded-instruction cache. Architectural state — cycles,
+    instret, registers, traps, TLB/cache statistics — is bit-identical
+    in both modes; only host wall-clock differs. The [off] mode exists
+    as the differential-testing baseline ([bench sim] measures the
+    gap, the qcheck property proves the equivalence). *)
+
+val fast_path : t -> bool
+
+val inject_bit_flip : t -> paddr:int -> bit:int -> unit
+(** {!Phys_mem.inject_bit_flip} on this machine's memory, via the
+    write hook that keeps the predecoded-instruction cache coherent.
+    The fault engine must corrupt memory through this entry point. *)
 
 val step : t -> core -> unit
 (** Execute one instruction (or deliver one pending trap/interrupt). *)

@@ -13,6 +13,7 @@ type t = {
   mutable pending : int;
   mutable corrected : int;
   mutable uncorrectable : int;
+  mutable write_hook : (pos:int -> len:int -> unit) option;
 }
 
 let page_size = 4096
@@ -26,7 +27,18 @@ let create ~size =
     pending = 0;
     corrected = 0;
     uncorrectable = 0;
+    write_hook = None;
   }
+
+let set_write_hook t h = t.write_hook <- h
+
+(* Every mutation of the stored bytes — architectural stores, DMA,
+   zeroing, fault injection, ECC scrub corrections — reports the dirty
+   range, so a layer caching derived views of memory (the machine's
+   predecoded-instruction cache) can invalidate. One option match when
+   no hook is installed. *)
+let notify t pos len =
+  match t.write_hook with None -> () | Some f -> f ~pos ~len
 
 let size t = Bytes.length t.data
 
@@ -51,7 +63,8 @@ let absorb_faults t pos len =
           let base = w * 8 in
           if base + 8 <= Bytes.length t.data then begin
             let stored = Bytes.get_int64_le t.data base in
-            Bytes.set_int64_le t.data base (Int64.logxor stored mask)
+            Bytes.set_int64_le t.data base (Int64.logxor stored mask);
+            notify t base 8
           end;
           Hashtbl.remove t.faults w;
           t.pending <- t.pending - 1
@@ -65,7 +78,8 @@ let read_u8 t pos =
 let write_u8 t pos v =
   check t pos 1 "write_u8";
   absorb_faults t pos 1;
-  Bytes.set t.data pos (Char.chr (v land 0xff))
+  Bytes.set t.data pos (Char.chr (v land 0xff));
+  notify t pos 1
 
 let read_u16 t pos =
   check t pos 2 "read_u16";
@@ -74,7 +88,8 @@ let read_u16 t pos =
 let write_u16 t pos v =
   check t pos 2 "write_u16";
   absorb_faults t pos 2;
-  Bytes.set_uint16_le t.data pos (v land 0xffff)
+  Bytes.set_uint16_le t.data pos (v land 0xffff);
+  notify t pos 2
 
 let read_u32 t pos =
   check t pos 4 "read_u32";
@@ -83,7 +98,8 @@ let read_u32 t pos =
 let write_u32 t pos v =
   check t pos 4 "write_u32";
   absorb_faults t pos 4;
-  Bytes.set_int32_le t.data pos v
+  Bytes.set_int32_le t.data pos v;
+  notify t pos 4
 
 let read_u64 t pos =
   check t pos 8 "read_u64";
@@ -92,7 +108,8 @@ let read_u64 t pos =
 let write_u64 t pos v =
   check t pos 8 "write_u64";
   absorb_faults t pos 8;
-  Bytes.set_int64_le t.data pos v
+  Bytes.set_int64_le t.data pos v;
+  notify t pos 8
 
 let read_string t ~pos ~len =
   check t pos len "read_string";
@@ -100,12 +117,16 @@ let read_string t ~pos ~len =
 
 let write_string t ~pos s =
   check t pos (String.length s) "write_string";
-  if String.length s > 0 then absorb_faults t pos (String.length s);
-  Bytes.blit_string s 0 t.data pos (String.length s)
+  if String.length s > 0 then begin
+    absorb_faults t pos (String.length s);
+    Bytes.blit_string s 0 t.data pos (String.length s);
+    notify t pos (String.length s)
+  end
 
 let zero_range t ~pos ~len =
   check t pos len "zero_range";
   Bytes.fill t.data pos len '\000';
+  if len > 0 then notify t pos len;
   if t.pending > 0 then begin
     (* zeroing rewrites the whole word, which rewrites the check bits *)
     let first = pos / 8 and last = (pos + len - 1) / 8 in
@@ -137,6 +158,7 @@ let inject_bit_flip t ~paddr ~bit =
     let mask = Int64.shift_left 1L bit in
     let stored = Bytes.get_int64_le t.data base in
     Bytes.set_int64_le t.data base (Int64.logxor stored mask);
+    notify t base 8;
     let prev = Option.value (Hashtbl.find_opt t.faults w) ~default:0L in
     if prev = 0L then t.pending <- t.pending + 1;
     let now = Int64.logxor prev mask in
@@ -176,6 +198,7 @@ let scrub t ~pos ~len =
             let base = word_base !w in
             let stored = Bytes.get_int64_le t.data base in
             Bytes.set_int64_le t.data base (Int64.logxor stored mask);
+            notify t base 8;
             Hashtbl.remove t.faults !w;
             t.pending <- t.pending - 1;
             t.corrected <- t.corrected + 1;

@@ -9,7 +9,9 @@ type entry = {
 
 type t = {
   entries : entry array;
-  mutable next : int;
+  mutable next : int;  (* round-robin fill pointer *)
+  mutable mru : int;  (* slot of the last hit or insert, probed first *)
+  mutable gen : int;  (* see [generation] *)
   mutable hits : int;
   mutable misses : int;
 }
@@ -23,41 +25,74 @@ let create ~entries =
       Array.init entries (fun _ ->
           { valid = false; vpn = 0; ppn = 0; perms = no_perms });
     next = 0;
+    mru = 0;
+    gen = 0;
     hits = 0;
     misses = 0;
   }
 
+(* Early-exit scan. A vpn appears in at most one valid slot ([insert]
+   reuses the existing mapping's slot), so the first match is the only
+   match. Returns the slot index, or -1. *)
+let rec scan entries vpn i n =
+  if i >= n then -1
+  else
+    let e = entries.(i) in
+    if e.valid && e.vpn = vpn then i else scan entries vpn (i + 1) n
+
+let find t ~vpn =
+  let m = t.entries.(t.mru) in
+  if m.valid && m.vpn = vpn then begin
+    t.hits <- t.hits + 1;
+    t.mru
+  end
+  else begin
+    let i = scan t.entries vpn 0 (Array.length t.entries) in
+    if i >= 0 then begin
+      t.hits <- t.hits + 1;
+      t.mru <- i
+    end
+    else t.misses <- t.misses + 1;
+    i
+  end
+
+let slot_ppn t i = t.entries.(i).ppn
+let slot_perms t i = t.entries.(i).perms
+
 let lookup t ~vpn =
-  let found = ref None in
-  Array.iter
-    (fun e -> if e.valid && e.vpn = vpn then found := Some (e.ppn, e.perms))
-    t.entries;
-  (match !found with
-  | Some _ -> t.hits <- t.hits + 1
-  | None -> t.misses <- t.misses + 1);
-  !found
+  let i = find t ~vpn in
+  if i < 0 then None else Some (t.entries.(i).ppn, t.entries.(i).perms)
+
+let note_hit t = t.hits <- t.hits + 1
 
 let insert t ~vpn ~ppn ~perms =
+  t.gen <- t.gen + 1;
+  let n = Array.length t.entries in
   (* Reuse an existing mapping slot when present, else round-robin. *)
-  let slot = ref None in
-  Array.iter (fun e -> if e.valid && e.vpn = vpn then slot := Some e) t.entries;
-  let e =
-    match !slot with
-    | Some e -> e
-    | None ->
-        let e = t.entries.(t.next) in
-        t.next <- (t.next + 1) mod Array.length t.entries;
-        e
+  let slot =
+    match scan t.entries vpn 0 n with
+    | i when i >= 0 -> i
+    | _ ->
+        let s = t.next in
+        t.next <- (s + 1) mod n;
+        s
   in
+  let e = t.entries.(slot) in
   e.valid <- true;
   e.vpn <- vpn;
   e.ppn <- ppn;
-  e.perms <- perms
+  e.perms <- perms;
+  t.mru <- slot
 
-let flush t = Array.iter (fun e -> e.valid <- false) t.entries
+let flush t =
+  t.gen <- t.gen + 1;
+  Array.iter (fun e -> e.valid <- false) t.entries
 
 let flush_vpn t ~vpn =
+  t.gen <- t.gen + 1;
   Array.iter (fun e -> if e.vpn = vpn then e.valid <- false) t.entries
+
+let generation t = t.gen
 
 let iter_entries t f =
   Array.iter

@@ -11,9 +11,34 @@ type t
 val create : entries:int -> t
 
 val lookup : t -> vpn:int -> (int * perms) option
-(** [lookup t ~vpn] is [Some (ppn, perms)] on a hit. *)
+(** [lookup t ~vpn] is [Some (ppn, perms)] on a hit. Convenience
+    wrapper around {!find}; allocates on a hit. *)
+
+val find : t -> vpn:int -> int
+(** Allocation-free lookup: the slot index holding [vpn], or [-1] on a
+    miss. Counts exactly one hit or one miss, like {!lookup} (of which
+    it is the implementation), and promotes the hit slot to the MRU
+    probe position. Slot indices are invalidated by {!insert} and the
+    flushes — read them back immediately via {!slot_ppn} /
+    {!slot_perms}. *)
+
+val slot_ppn : t -> int -> int
+val slot_perms : t -> int -> perms
+
+val note_hit : t -> unit
+(** Account one hit without performing a lookup. For an external
+    translation cache (the machine's fetch fast path) that answers
+    from a snapshot of this TLB: the slow path would have hit, so the
+    statistics must say so. *)
 
 val insert : t -> vpn:int -> ppn:int -> perms:perms -> unit
+
+val generation : t -> int
+(** Monotonic counter bumped by every {!insert}, {!flush} and
+    {!flush_vpn} — i.e. by every mutation of the translation contents.
+    Two equal generation numbers guarantee the TLB holds exactly the
+    same entries, which is what lets the machine's fetch fast path
+    reuse a cached translation without rescanning. *)
 
 val flush : t -> unit
 

@@ -20,4 +20,5 @@ let () =
       Test_telemetry.suite;
       Test_analysis.suite;
       Test_faults.suite;
+      Test_fastpath.suite;
     ]

@@ -1,0 +1,569 @@
+(* The simulator's host-side fast path (predecoded instruction cache,
+   per-core fetch-translation cache, allocation-free TLB/cache
+   lookups) must be architecturally invisible: with the fast path on
+   and off, the same program produces bit-identical instret, cycles,
+   registers, PC, TLB/cache statistics and trap sequences. The qcheck
+   property below proves it over random programs that include
+   self-modifying stores into their own code page, DMA writes into
+   code, injected ECC faults (correctable and uncorrectable) and
+   posted interrupts — every event class that can invalidate a cached
+   decode or translation. *)
+
+module Hw = Sanctorum_hw
+module Tel = Sanctorum_telemetry
+module Img = Sanctorum.Image
+open Sanctorum_os
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_i64 = Alcotest.(check int64)
+
+(* ------------------------------------------------------------------ *)
+(* Harness *)
+
+let bare_machine () =
+  let m =
+    Hw.Machine.create
+      { Hw.Machine.default_config with cores = 1; mem_bytes = 1024 * 1024 }
+  in
+  let last = ref None in
+  Hw.Machine.set_trap_handler m (fun _ c cause ->
+      last := Some cause;
+      c.Hw.Machine.halted <- true);
+  (m, last)
+
+let exec_at m pos =
+  let c = Hw.Machine.core m 0 in
+  Hw.Machine.reset_core_state c;
+  c.Hw.Machine.pc <- Int64.of_int pos;
+  c.Hw.Machine.halted <- false;
+  ignore (Hw.Machine.run m ~core:0 ~fuel:10_000);
+  c
+
+let run_at m pos prog =
+  Hw.Phys_mem.write_string (Hw.Machine.mem m) ~pos
+    (Hw.Isa.encode_program prog);
+  exec_at m pos
+
+(* ------------------------------------------------------------------ *)
+(* Self-modifying code: the predecode cache's sharpest edge. A program
+   that overwrites an instruction must execute the new bytes, even
+   when the old bytes were already fetched, decoded and cached. *)
+
+let test_smc_inline_store () =
+  let m, _ = bare_machine () in
+  let open Hw.Isa in
+  (* Straight-line program that patches its own next instruction. *)
+  let enc_new = Int32.to_int (encode (Op_imm (Add, a0, zero, 777))) in
+  let prefix = li t1 enc_new @ li t0 0x1000 in
+  let placeholder_idx = List.length prefix + 1 in
+  let prog =
+    prefix
+    @ [
+        Store (Sw, t1, t0, 4 * placeholder_idx);
+        Op_imm (Add, a0, zero, 1) (* overwritten before it is fetched *);
+        Ecall;
+      ]
+  in
+  let c = run_at m 0x1000 prog in
+  check_i64 "patched instruction executed" 777L (Hw.Machine.read_reg c Hw.Isa.a0)
+
+let test_smc_store_after_decode () =
+  let m, _ = bare_machine () in
+  let open Hw.Isa in
+  (* Execute the target first so its decode is definitely cached... *)
+  let c = run_at m 0x1000 [ Op_imm (Add, a0, zero, 1); Ecall ] in
+  check_i64 "original executed" 1L (Hw.Machine.read_reg c Hw.Isa.a0);
+  (* ...then patch it with a store from a different page... *)
+  let enc_new = Int32.to_int (encode (Op_imm (Add, a0, zero, 99))) in
+  let patcher =
+    li t1 enc_new @ li t0 0x1000 @ [ Store (Sw, t1, t0, 0); Ecall ]
+  in
+  ignore (run_at m 0x2000 patcher);
+  (* ...and re-run the (unrewritten) target page. *)
+  let c = exec_at m 0x1000 in
+  check_i64 "stale decode dropped after store" 99L
+    (Hw.Machine.read_reg c Hw.Isa.a0)
+
+let test_smc_dma () =
+  let m, _ = bare_machine () in
+  let open Hw.Isa in
+  let c = run_at m 0x1000 [ Op_imm (Add, a0, zero, 1); Ecall ] in
+  check_i64 "original executed" 1L (Hw.Machine.read_reg c Hw.Isa.a0);
+  (match
+     Hw.Machine.dma_write m ~paddr:0x1000
+       (encode_program [ Op_imm (Add, a0, zero, 55) ])
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "dma_write refused");
+  let c = exec_at m 0x1000 in
+  check_i64 "stale decode dropped after DMA write" 55L
+    (Hw.Machine.read_reg c Hw.Isa.a0)
+
+let test_flip_invalidates_decode () =
+  let m, _ = bare_machine () in
+  let open Hw.Isa in
+  let c = run_at m 0x1000 [ Op_imm (Add, a0, zero, 5); Ecall ] in
+  check_i64 "original executed" 5L (Hw.Machine.read_reg c Hw.Isa.a0);
+  (* A single-bit flip in the cached instruction word: the next fetch
+     must not execute the stale decode, and ECC corrects the word back
+     to the original bytes — so the original result, not garbage. *)
+  Hw.Machine.inject_bit_flip m ~paddr:0x1000 ~bit:3;
+  let c = exec_at m 0x1000 in
+  check_i64 "corrected word re-decoded" 5L (Hw.Machine.read_reg c Hw.Isa.a0);
+  check_int "fault scrubbed" 0
+    (Hw.Phys_mem.pending_faults (Hw.Machine.mem m))
+
+(* ------------------------------------------------------------------ *)
+(* post_interrupt is a FIFO queue: delivery order is posting order. *)
+
+let test_interrupt_fifo_order () =
+  let m, _ = bare_machine () in
+  let order = ref [] in
+  Hw.Machine.set_trap_handler m (fun _ c cause ->
+      match cause with
+      | Hw.Trap.Interrupt irq -> order := irq :: !order
+      | Hw.Trap.Exception Hw.Trap.Ecall_user -> c.Hw.Machine.halted <- true
+      | _ -> c.Hw.Machine.halted <- true);
+  Hw.Phys_mem.write_string (Hw.Machine.mem m) ~pos:0x1000
+    (Hw.Isa.encode_program [ Hw.Isa.nop; Hw.Isa.nop; Hw.Isa.Ecall ]);
+  Hw.Machine.post_interrupt m ~core:0 Hw.Trap.Software;
+  Hw.Machine.post_interrupt m ~core:0 (Hw.Trap.External 7);
+  Hw.Machine.post_interrupt m ~core:0 (Hw.Trap.External 3);
+  Hw.Machine.post_interrupt m ~core:0 Hw.Trap.Software;
+  ignore (exec_at m 0x1000);
+  Alcotest.(check (list string))
+    "FIFO delivery"
+    [ "irq-software"; "irq-external"; "irq-external"; "irq-software" ]
+    (List.rev_map
+       (fun irq -> Hw.Trap.cause_label (Hw.Trap.Interrupt irq))
+       !order);
+  (* External irq payloads kept their order too *)
+  check_bool "payload order" true
+    (List.rev !order
+    = [
+        Hw.Trap.Software; Hw.Trap.External 7; Hw.Trap.External 3;
+        Hw.Trap.Software;
+      ])
+
+(* ------------------------------------------------------------------ *)
+(* TLB statistics stay exact under the early-exit + MRU rewrite: every
+   lookup/find counts exactly one hit or one miss, on the MRU path,
+   the scan path and after eviction/flush alike. *)
+
+let test_tlb_stats_exact () =
+  let t = Hw.Tlb.create ~entries:2 in
+  let p = { Hw.Tlb.r = true; w = false; x = true; u = true } in
+  check_bool "miss on empty" true (Hw.Tlb.lookup t ~vpn:5 = None);
+  Hw.Tlb.insert t ~vpn:5 ~ppn:50 ~perms:p;
+  (match Hw.Tlb.lookup t ~vpn:5 with
+  | Some (50, pp) -> check_bool "perms preserved" true (pp = p)
+  | _ -> Alcotest.fail "expected hit on vpn 5");
+  ignore (Hw.Tlb.lookup t ~vpn:5) (* MRU-path hit *);
+  Hw.Tlb.insert t ~vpn:6 ~ppn:60 ~perms:p;
+  ignore (Hw.Tlb.lookup t ~vpn:6);
+  ignore (Hw.Tlb.lookup t ~vpn:5) (* non-MRU scan hit *);
+  Hw.Tlb.insert t ~vpn:7 ~ppn:70 ~perms:p (* round-robin evicts vpn 5 *);
+  check_bool "evicted" true (Hw.Tlb.lookup t ~vpn:5 = None);
+  let i = Hw.Tlb.find t ~vpn:7 in
+  check_bool "find hit" true (i >= 0);
+  check_int "slot_ppn" 70 (Hw.Tlb.slot_ppn t i);
+  Hw.Tlb.flush t;
+  check_bool "post-flush miss" true (Hw.Tlb.lookup t ~vpn:7 = None);
+  (* 8 lookups above: 5 hits, 3 misses, nothing double-counted *)
+  check_bool "counters exact" true (Hw.Tlb.stats t = (5, 3))
+
+let test_tlb_generation () =
+  let t = Hw.Tlb.create ~entries:4 in
+  let p = { Hw.Tlb.r = true; w = true; x = true; u = true } in
+  let g0 = Hw.Tlb.generation t in
+  Hw.Tlb.insert t ~vpn:1 ~ppn:10 ~perms:p;
+  let g1 = Hw.Tlb.generation t in
+  check_bool "insert bumps" true (g1 > g0);
+  ignore (Hw.Tlb.lookup t ~vpn:1);
+  ignore (Hw.Tlb.lookup t ~vpn:2);
+  check_int "lookups do not bump" g1 (Hw.Tlb.generation t);
+  Hw.Tlb.flush_vpn t ~vpn:1;
+  let g2 = Hw.Tlb.generation t in
+  check_bool "flush_vpn bumps" true (g2 > g1);
+  Hw.Tlb.flush t;
+  check_bool "flush bumps" true (Hw.Tlb.generation t > g2)
+
+(* Cache statistics through the allocation-free access path. *)
+let test_cache_access_hit_stats () =
+  let cfg = { Hw.Cache.default_l1 with Hw.Cache.sets = 4; ways = 2 } in
+  let c = Hw.Cache.create cfg in
+  check_bool "first access misses" false (Hw.Cache.access_hit c ~paddr:0x1000);
+  check_bool "second access hits" true (Hw.Cache.access_hit c ~paddr:0x1000);
+  check_bool "MRU-path hit" true (Hw.Cache.access_hit c ~paddr:0x1000);
+  let addr tag = tag * 4 * 64 in
+  ignore (Hw.Cache.access_hit c ~paddr:(addr 1)) (* same set, way 2 *);
+  ignore (Hw.Cache.access_hit c ~paddr:0x1000) (* touch first line *);
+  ignore (Hw.Cache.access_hit c ~paddr:(addr 2)) (* evicts LRU = addr 1 *);
+  check_bool "LRU victim evicted" false (Hw.Cache.probe c ~paddr:(addr 1));
+  check_bool "MRU survivor resident" true (Hw.Cache.probe c ~paddr:0x1000);
+  (* 6 accesses above: 3 hits, 3 misses; probes count nothing *)
+  check_bool "counters exact" true (Hw.Cache.stats c = (3, 3))
+
+(* ------------------------------------------------------------------ *)
+(* ecc_check_exn batches the corrected counter: one scrub correcting n
+   words adds n in a single [Metrics.add]. *)
+
+let test_ecc_corrected_batch () =
+  let metrics = Tel.Metrics.create () in
+  let sink = Tel.Sink.create ~metrics () in
+  let m =
+    Hw.Machine.create
+      { Hw.Machine.default_config with cores = 1; mem_bytes = 64 * 1024 }
+  in
+  Hw.Machine.set_sink m sink;
+  Hw.Machine.inject_bit_flip m ~paddr:0x3000 ~bit:2;
+  Hw.Machine.inject_bit_flip m ~paddr:0x3008 ~bit:40;
+  Hw.Machine.inject_bit_flip m ~paddr:0x3010 ~bit:7;
+  (match Hw.Machine.dma_read m ~paddr:0x3000 ~len:24 with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "dma_read refused");
+  (match Tel.Metrics.find metrics "hw.ecc.corrected" with
+  | Some (Tel.Metrics.Counter c) ->
+      check_int "one scrub of 3 words counts 3" 3 (Tel.Metrics.value c)
+  | _ -> Alcotest.fail "hw.ecc.corrected not registered");
+  check_int "faults cleared" 0
+    (Hw.Phys_mem.pending_faults (Hw.Machine.mem m))
+
+(* ------------------------------------------------------------------ *)
+(* The differential property. *)
+
+type mode = Bare | Paged
+
+type op =
+  | Alu of int * int * int * int
+  | Alu_imm of int * int * int * int
+  | Load_data of int * int * int
+  | Store_data of int * int * int
+  | Store_code of int * int
+  | Branch_fwd of int * int * int * int
+  | Jal_fwd of int
+  | Read_cycle of int
+  | Wild_load of int
+  | Break
+
+type event =
+  | Flip of int * int (* correctable: one bit of one word *)
+  | Flip2 of int * int (* uncorrectable: two bits of one word *)
+  | Dma of int * int (* write one word into the code page *)
+  | Irq of int
+
+let alu_ops =
+  Hw.Isa.[| Add; Sub; Sll; Slt; Sltu; Xor; Srl; Sra; Or; And |]
+
+let branch_ops = Hw.Isa.[| Beq; Bne; Blt; Bge; Bltu; Bgeu |]
+let load_ops = Hw.Isa.[| Lb; Lh; Lw; Ld; Lbu; Lhu; Lwu |]
+let store_ops = Hw.Isa.[| Sb; Sh; Sw; Sd |]
+
+let regs_pool = Hw.Isa.[| a0; a1; a2; a3; a4; a5; t2; t3; t4 |]
+
+(* The program image is at most 96 words; stores into code target any
+   of them, so self-modification can hit already-executed, cached and
+   not-yet-fetched instructions alike. *)
+let code_words = 96
+
+let instr_of_op op =
+  let open Hw.Isa in
+  let r i = regs_pool.(i mod Array.length regs_pool) in
+  let data_off size raw =
+    let off = raw mod 2040 in
+    (* mostly aligned, sometimes deliberately misaligned *)
+    if raw mod 11 = 0 then off else off / size * size
+  in
+  match op with
+  | Alu (o, rd, r1, r2) -> Op (alu_ops.(o mod 10), r rd, r r1, r r2)
+  | Alu_imm (o, rd, r1, imm) -> (
+      match alu_ops.(o mod 10) with
+      | (Sll | Srl | Sra) as sop -> Op_imm (sop, r rd, r r1, imm land 63)
+      | Sub (* subi does not exist *) | Add ->
+          Op_imm (Add, r rd, r r1, (imm mod 1024) - 512)
+      | aop -> Op_imm (aop, r rd, r r1, (imm mod 1024) - 512))
+  | Load_data (s, rd, off) ->
+      let lop = load_ops.(s mod 7) in
+      let size = match lop with Lb | Lbu -> 1 | Lh | Lhu -> 2 | Lw | Lwu -> 4 | Ld -> 8 in
+      Load (lop, r rd, t1, data_off size off)
+  | Store_data (s, rs, off) ->
+      let sop = store_ops.(s mod 4) in
+      let size = match sop with Sb -> 1 | Sh -> 2 | Sw -> 4 | Sd -> 8 in
+      Store (sop, r rs, t1, data_off size off)
+  | Store_code (rs, w) -> Store (Sw, r rs, t0, w mod code_words * 4)
+  | Branch_fwd (o, r1, r2, skip) ->
+      Branch (branch_ops.(o mod 6), r r1, r r2, 4 * (2 + (skip mod 2)))
+  | Jal_fwd skip -> Jal (t5, 4 * (2 + (skip mod 2)))
+  | Read_cycle rd -> Csr_read_cycle (r rd)
+  | Wild_load rd -> Load (Ld, r rd, a6, 0)
+  | Break -> Ebreak
+
+let apply_event m ~code_base ~data_base ev =
+  match ev with
+  | Flip (w, bit) ->
+      let base = if w < 64 then code_base else data_base in
+      Hw.Machine.inject_bit_flip m
+        ~paddr:(base + (w mod 64 * 8))
+        ~bit:(bit mod 63)
+  | Flip2 (w, bit) ->
+      let base = if w < 64 then code_base else data_base in
+      let paddr = base + (w mod 64 * 8) in
+      let bit = bit mod 62 in
+      Hw.Machine.inject_bit_flip m ~paddr ~bit;
+      Hw.Machine.inject_bit_flip m ~paddr ~bit:(bit + 1)
+  | Dma (w, v) ->
+      let b = Bytes.create 4 in
+      Bytes.set_int32_le b 0 (Int32.of_int v);
+      ignore
+        (Hw.Machine.dma_write m
+           ~paddr:(code_base + (w mod code_words * 4))
+           (Bytes.to_string b))
+  | Irq n ->
+      Hw.Machine.post_interrupt m ~core:0
+        (if n mod 3 = 0 then Hw.Trap.Software else Hw.Trap.External (n mod 7))
+
+(* How to drive the machine: [Stepwise] calls [Machine.step] directly
+   (events land between arbitrary single steps); [Chunked] calls
+   [Machine.run] with a cycled list of small fuel slices (events land
+   at chunk boundaries), which exercises the block executor inside
+   [run]. Both machines of a differential pair use the same drive, so
+   injection points are architecturally identical. *)
+type drive = Stepwise | Chunked of int list
+
+(* Run one machine to completion (or the step cap) and snapshot every
+   piece of architectural state the fast path could disturb. *)
+let run_one ~fast ~drive ~mode ~ops ~events ~raws =
+  let m =
+    Hw.Machine.create
+      { Hw.Machine.default_config with cores = 1; mem_bytes = 1024 * 1024 }
+  in
+  Hw.Machine.set_fast_path m fast;
+  let traps = ref [] in
+  Hw.Machine.set_trap_handler m (fun _ c cause ->
+      traps := Format.asprintf "%a" Hw.Trap.pp_cause cause :: !traps;
+      match cause with
+      | Hw.Trap.Exception Hw.Trap.Ecall_user -> c.Hw.Machine.halted <- true
+      | Hw.Trap.Exception _ ->
+          (* emulate a handler that skips the faulting instruction *)
+          c.Hw.Machine.pc <- Int64.add c.Hw.Machine.pc 4L
+      | Hw.Trap.Interrupt _ -> ());
+  let mem = Hw.Machine.mem m in
+  let c = Hw.Machine.core m 0 in
+  let code_base, data_base, wild =
+    match mode with
+    | Bare -> (0x4000, 0x8000, 1024 * 1024)
+    | Paged ->
+        (* Identity-mapped code (rwx) and data (rw) pages, so physical
+           event addresses coincide with the virtual bases; 0x30000 is
+           left unmapped for page faults. *)
+        let next = ref 0x40 in
+        let alloc () =
+          let p = !next in
+          incr next;
+          p
+        in
+        let root = alloc () in
+        let map vaddr ppn perms =
+          Hw.Page_table.map mem ~root_ppn:root ~vaddr ~ppn ~perms
+            ~alloc_table:alloc
+        in
+        map 0x10000 0x10
+          { Hw.Page_table.r = true; w = true; x = true; u = true };
+        map 0x20000 0x20
+          { Hw.Page_table.r = true; w = true; x = false; u = true };
+        c.Hw.Machine.satp_root <- Some root;
+        (0x10000, 0x20000, 0x30000)
+  in
+  let open Hw.Isa in
+  let prologue = li t0 code_base @ li t1 data_base @ li a6 wild in
+  let body = List.map instr_of_op ops in
+  let program = prologue @ body @ [ Ecall; Ecall; Ecall; Ecall; Ecall ] in
+  Hw.Phys_mem.write_string mem ~pos:code_base (encode_program program);
+  let plen = List.length prologue in
+  List.iter
+    (fun (idx, word) ->
+      (* raw words (mostly undecodable) dropped into the body *)
+      let slot = plen + (idx mod (code_words - plen)) in
+      Hw.Phys_mem.write_u32 mem (code_base + (4 * slot)) (Int32.of_int word))
+    raws;
+  c.Hw.Machine.pc <- Int64.of_int code_base;
+  (match drive with
+  | Stepwise ->
+      let steps = ref 0 in
+      while (not c.Hw.Machine.halted) && !steps < 1500 do
+        List.iter
+          (fun (k, ev) ->
+            if k = !steps then apply_event m ~code_base ~data_base ev)
+          events;
+        Hw.Machine.step m c;
+        incr steps
+      done
+  | Chunked chunks ->
+      let chunks = Array.of_list chunks in
+      let n = Array.length chunks in
+      let i = ref 0 in
+      while (not c.Hw.Machine.halted) && !i < 400 do
+        List.iter
+          (fun (k, ev) -> if k = !i then apply_event m ~code_base ~data_base ev)
+          events;
+        ignore
+          (Hw.Machine.run m ~core:0 ~fuel:(1 + (chunks.(!i mod n) land 63)));
+        incr i
+      done);
+  ( c.Hw.Machine.instret,
+    c.Hw.Machine.cycles,
+    c.Hw.Machine.pc,
+    Array.to_list c.Hw.Machine.regs,
+    Hw.Tlb.stats c.Hw.Machine.tlb,
+    Hw.Cache.stats c.Hw.Machine.l1,
+    Hw.Cache.stats (Hw.Machine.l2 m),
+    List.rev !traps,
+    Hw.Phys_mem.pending_faults mem )
+
+let case_gen =
+  let open QCheck2.Gen in
+  let sm = int_bound 4095 in
+  let op_gen =
+    oneof
+      [
+        map2 (fun (a, b) (c, d) -> Alu (a, b, c, d)) (pair sm sm) (pair sm sm);
+        map2 (fun (a, b) (c, d) -> Alu_imm (a, b, c, d)) (pair sm sm)
+          (pair sm sm);
+        map3 (fun a b c -> Load_data (a, b, c)) sm sm sm;
+        map3 (fun a b c -> Store_data (a, b, c)) sm sm sm;
+        map2 (fun a b -> Store_code (a, b)) sm sm;
+        map2 (fun (a, b) (c, d) -> Branch_fwd (a, b, c, d)) (pair sm sm)
+          (pair sm sm);
+        map (fun a -> Jal_fwd a) sm;
+        map (fun a -> Read_cycle a) sm;
+        map (fun a -> Wild_load a) sm;
+        pure Break;
+      ]
+  in
+  let event_gen =
+    oneof
+      [
+        map2 (fun w b -> Flip (w, b)) (int_bound 127) (int_bound 62);
+        map2 (fun w b -> Flip2 (w, b)) (int_bound 127) (int_bound 61);
+        map2 (fun w v -> Dma (w, v)) (int_bound 95) (int_bound 0xFFFFFF);
+        map (fun n -> Irq n) (int_bound 7);
+      ]
+  in
+  quad
+    (oneofl [ Bare; Paged ])
+    (list_size (int_range 10 50) op_gen)
+    (list_size (int_range 0 6) (pair (int_bound 400) event_gen))
+    (list_size (int_range 0 3) (pair (int_bound 95) (int_bound 0x7FFFFFF)))
+
+let compare_pair ~drive (mode, ops, events, raws) =
+  let (i_a, c_a, pc_a, r_a, t_a, l1_a, l2_a, tr_a, p_a) =
+    run_one ~fast:true ~drive ~mode ~ops ~events ~raws
+  and (i_b, c_b, pc_b, r_b, t_b, l1_b, l2_b, tr_b, p_b) =
+    run_one ~fast:false ~drive ~mode ~ops ~events ~raws
+  in
+  let fail what = QCheck2.Test.fail_reportf "fast/slow diverge on %s" what in
+  if i_a <> i_b then fail (Printf.sprintf "instret (%d vs %d)" i_a i_b)
+  else if c_a <> c_b then fail (Printf.sprintf "cycles (%d vs %d)" c_a c_b)
+  else if pc_a <> pc_b then fail (Printf.sprintf "pc (0x%Lx vs 0x%Lx)" pc_a pc_b)
+  else if r_a <> r_b then fail "register file"
+  else if t_a <> t_b then
+    fail
+      (Printf.sprintf "TLB stats (%d,%d vs %d,%d)" (fst t_a) (snd t_a)
+         (fst t_b) (snd t_b))
+  else if l1_a <> l1_b then fail "L1 stats"
+  else if l2_a <> l2_b then fail "L2 stats"
+  else if tr_a <> tr_b then
+    fail
+      (Printf.sprintf "trap sequence (%d traps vs %d: [%s] vs [%s])"
+         (List.length tr_a) (List.length tr_b) (String.concat "; " tr_a)
+         (String.concat "; " tr_b))
+  else if p_a <> p_b then fail "pending fault count"
+  else true
+
+let prop_differential =
+  QCheck2.Test.make
+    ~name:
+      "differential: fast path on/off — identical instret, cycles, regs, \
+       TLB/cache stats, traps"
+    ~count:60 case_gen
+    (compare_pair ~drive:Stepwise)
+
+(* Same property through [Machine.run]: covers the block executor,
+   with events injected at random fuel-chunk boundaries. *)
+let prop_differential_run =
+  QCheck2.Test.make
+    ~name:"differential: fast path on/off under block execution (run-driven)"
+    ~count:40
+    QCheck2.Gen.(
+      pair case_gen (list_size (int_range 1 8) (int_bound 62)))
+    (fun (case, chunks) -> compare_pair ~drive:(Chunked chunks) case)
+
+(* Same property through the whole stack: boot, install an enclave,
+   run the fig2-style compute loop under the monitor — fast path on
+   and off must agree on every cycle and counter. *)
+let test_differential_full_stack () =
+  let open Hw.Isa in
+  let program =
+    li t0 330
+    @ [
+        Op_imm (Add, t1, zero, 0);
+        Op_imm (Add, t1, t1, 1);
+        Branch (Bne, t1, t0, -4);
+        Op_imm (Add, a7, zero, 1);
+        Ecall;
+      ]
+  in
+  let run fast =
+    let tb = Testbed.create ~seed:"fastpath-differential" () in
+    Hw.Machine.set_fast_path tb.Testbed.machine fast;
+    let image = Img.of_program ~evbase:0x10000 program in
+    let inst = Result.get_ok (Os.install_enclave tb.Testbed.os image) in
+    let eid = inst.Os.eid and tid = List.hd inst.Os.tids in
+    let outcome =
+      Os.run_enclave tb.Testbed.os ~eid ~tid ~core:0 ~fuel:10_000 ()
+    in
+    let c = Hw.Machine.core tb.Testbed.machine 0 in
+    ( (match outcome with Ok o -> Some o | Error _ -> None),
+      c.Hw.Machine.instret,
+      c.Hw.Machine.cycles,
+      Hw.Tlb.stats c.Hw.Machine.tlb,
+      Hw.Cache.stats c.Hw.Machine.l1,
+      Hw.Cache.stats (Hw.Machine.l2 tb.Testbed.machine) )
+  in
+  let (o_a, i_a, c_a, t_a, l1_a, l2_a) = run true
+  and (o_b, i_b, c_b, t_b, l1_b, l2_b) = run false in
+  check_bool "outcome agrees (and is a clean exit)" true
+    (o_a = o_b && o_a = Some Os.Exited);
+  check_int "instret agrees" i_b i_a;
+  check_int "cycles agree" c_b c_a;
+  check_bool "TLB stats agree" true (t_a = t_b);
+  check_bool "L1 stats agree" true (l1_a = l1_b);
+  check_bool "L2 stats agree" true (l2_a = l2_b)
+
+let suite =
+  ( "fastpath",
+    [
+      Alcotest.test_case "smc: store patches next instruction" `Quick
+        test_smc_inline_store;
+      Alcotest.test_case "smc: store drops cached decode" `Quick
+        test_smc_store_after_decode;
+      Alcotest.test_case "smc: DMA write drops cached decode" `Quick
+        test_smc_dma;
+      Alcotest.test_case "smc: bit flip drops cached decode, ECC corrects"
+        `Quick test_flip_invalidates_decode;
+      Alcotest.test_case "interrupts: FIFO delivery order" `Quick
+        test_interrupt_fifo_order;
+      Alcotest.test_case "tlb: hit/miss counters exact under early exit"
+        `Quick test_tlb_stats_exact;
+      Alcotest.test_case "tlb: generation counts mutations only" `Quick
+        test_tlb_generation;
+      Alcotest.test_case "cache: access_hit stats and LRU exact" `Quick
+        test_cache_access_hit_stats;
+      Alcotest.test_case "ecc: corrected counter adds by n" `Quick
+        test_ecc_corrected_batch;
+      Alcotest.test_case "differential: full stack enclave run" `Quick
+        test_differential_full_stack;
+      QCheck_alcotest.to_alcotest prop_differential;
+      QCheck_alcotest.to_alcotest prop_differential_run;
+    ] )
