@@ -7,6 +7,8 @@
      sanctorum_demo leak     [--backend ...] [--secret S]
      sanctorum_demo chaos    [--backend ...] [--seed N] [--faults SPEC]
                              [--rounds R]
+     sanctorum_demo workload [--backend ...] [--seed S] [--cores N]
+                             [--enclaves M] [--rounds R] [--mix MIX]
 
    Every command also takes the telemetry flags
    [--trace out.json] [--trace-jsonl out.jsonl] [--metrics] [--audit];
@@ -283,6 +285,42 @@ let cmd_chaos tel backend seed faults rounds =
         exit 1
       end
 
+(* `sanctorum_demo workload`: the closed-loop multicore load generator.
+   It owns its telemetry sink (the analyzers consume the trace between
+   rounds), so it does not take the shared --trace flags. *)
+let cmd_workload backend seed cores enclaves rounds mix fuel quantum
+    check_every =
+  let module W = Sanctorum_workload.Workload in
+  match W.mix_of_string mix with
+  | Error msg ->
+      Printf.eprintf "sanctorum_demo workload: --mix: %s\n" msg;
+      exit 124
+  | Ok mix ->
+      let cfg =
+        {
+          W.seed;
+          backend;
+          cores;
+          enclaves;
+          rounds;
+          mix;
+          fuel;
+          quantum;
+          check_every;
+        }
+      in
+      let r = W.run cfg in
+      Format.printf "%a@." W.pp_report r;
+      if r.W.rp_findings <> [] then begin
+        Format.printf "%a@." An.Report.pp_list r.W.rp_findings;
+        exit 1
+      end;
+      if not (r.W.rp_drained && r.W.rp_reclaimed) then begin
+        Printf.printf "workload: teardown incomplete (drained=%b reclaimed=%b)\n"
+          r.W.rp_drained r.W.rp_reclaimed;
+        exit 1
+      end
+
 (* `sanctorum_demo check`: run the canonical scenarios on both backends
    with the full analysis harness armed — snapshot pass after every API
    call, lock-discipline and orderliness passes over the recorded trace
@@ -537,6 +575,76 @@ let chaos_cmd =
           finding left after recovery.")
     Term.(const cmd_chaos $ tel_term $ backend_arg $ seed $ faults $ rounds)
 
+let workload_cmd =
+  let backend =
+    Arg.(
+      value
+      & opt backend_conv Testbed.Keystone_backend
+      & info [ "backend"; "b" ] ~docv:"BACKEND"
+          ~doc:
+            "Isolation backend: $(b,sanctum) or $(b,keystone). Defaults to \
+             keystone — its 4 KiB allocation units are what a many-enclave \
+             population needs; sanctum's region-sized units cap the enclave \
+             count at a handful.")
+  in
+  let seed =
+    Arg.(
+      value & opt string "workload"
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Determinism seed: the schedule and every architectural outcome \
+             are a pure function of (seed, backend, cores, enclaves, rounds, \
+             mix).")
+  in
+  let cores =
+    Arg.(value & opt int 4 & info [ "cores" ] ~docv:"N" ~doc:"Core count.")
+  in
+  let enclaves =
+    Arg.(
+      value & opt int 64
+      & info [ "enclaves" ] ~docv:"M" ~doc:"Concurrent enclave population.")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 1000
+      & info [ "rounds" ] ~docv:"R" ~doc:"Scheduler rounds to drive.")
+  in
+  let mix =
+    Arg.(
+      value & opt string "compute"
+      & info [ "mix" ] ~docv:"MIX"
+          ~doc:
+            "Traffic mix: $(b,compute), $(b,ipc), $(b,paging) or $(b,churn).")
+  in
+  let fuel =
+    Arg.(
+      value & opt int 2000
+      & info [ "fuel" ] ~docv:"F" ~doc:"Per-quantum fuel budget (instructions).")
+  in
+  let quantum =
+    Arg.(
+      value & opt int 500
+      & info [ "quantum" ] ~docv:"Q" ~doc:"Preemption quantum (cycles).")
+  in
+  let check_every =
+    Arg.(
+      value & opt int 16
+      & info [ "check-every" ] ~docv:"K"
+          ~doc:
+            "Run the invariant checker and trace analyzers every $(docv) \
+             rounds (0 = only at the end).")
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:
+         "Closed-loop multicore enclave load generator: M enclaves round-robin \
+          scheduled over N cores through create/enter, preempt/resume, mailbox \
+          IPC, self-paging and churn, with the analysis passes watching; exit 1 \
+          on any finding or on incomplete reclamation.")
+    Term.(
+      const cmd_workload $ backend $ seed $ cores $ enclaves $ rounds $ mix
+      $ fuel $ quantum $ check_every)
+
 let leak_cmd =
   let secret =
     Arg.(value & opt int 5 & info [ "secret"; "s" ] ~doc:"Victim secret, 0-7.")
@@ -552,5 +660,5 @@ let () =
           (Cmd.info "sanctorum_demo" ~doc)
           [
             boot_cmd; run_cmd; attest_cmd; probe_cmd; leak_cmd; check_cmd;
-            chaos_cmd;
+            chaos_cmd; workload_cmd;
           ]))

@@ -154,6 +154,34 @@ let with_resource_lock t f =
     (fun v -> t.resource_lock <- v)
     f
 
+(* Every clear of a thread's saved AEX dump funnels through here, so
+   the write is always visible to the lock-discipline analyzer as a
+   [Guarded_write] under the thread's lock — an unguarded clear would
+   blind it to exactly the kind of lost-update the discipline exists
+   to catch. Callers inside [with_thread_lock] pass [~locked:true];
+   the rest ([delete_enclave] under the enclave lock, the emergency
+   reclaim paths) take the lock for the duration of the write. The
+   take is forced rather than [with_flag]-checked: the emergency
+   paths may find the bit stuck set by a dead holder, and the
+   resulting acquire-while-held event is precisely what the analyzer
+   should see in that case. *)
+let clear_aex_state t th ~locked =
+  let name = thread_lock_name th.tid in
+  let write () =
+    th.aex_state <- None;
+    note_write t ~lock:name ~field:"aex_state"
+  in
+  if locked then write ()
+  else begin
+    th.t_lock <- true;
+    emit_lock t name true;
+    Fun.protect
+      ~finally:(fun () ->
+        th.t_lock <- false;
+        emit_lock t name false)
+      write
+  end
+
 let try_lock_enclave t ~eid =
   match Hashtbl.find_opt t.enclaves eid with
   | Some e when not e.e_lock ->
@@ -649,7 +677,7 @@ let delete_enclave t ~caller ~eid =
                 th.t_owner <- None;
                 th.t_offered <- None;
                 th.phase <- T_available;
-                th.aex_state <- None;
+                clear_aex_state t th ~locked:false;
                 th.entry_pc <- 0L;
                 th.entry_sp <- 0L
             | None -> ())
@@ -715,7 +743,7 @@ let accept_thread t ~caller ~tid ?(entry_pc = 0L) ?(entry_sp = 0L) () =
           th.phase <- T_assigned;
           th.entry_pc <- entry_pc;
           th.entry_sp <- entry_sp;
-          th.aex_state <- None;
+          clear_aex_state t th ~locked:true;
           e.threads <- tid :: e.threads;
           ok
       | Some _ | None -> Error Api_error.Unauthorized)
@@ -729,7 +757,7 @@ let release_thread t ~caller ~tid =
           note_write t ~lock:(thread_lock_name tid) ~field:"phase";
           th.t_owner <- None;
           th.phase <- T_available;
-          th.aex_state <- None;
+          clear_aex_state t th ~locked:true;
           e.threads <- List.filter (fun x -> x <> tid) e.threads;
           ok
       | T_running _, Some owner when owner = e.eid ->
@@ -750,7 +778,7 @@ let unassign_thread t ~caller ~tid =
           th.t_owner <- None;
           th.t_offered <- None;
           th.phase <- T_available;
-          th.aex_state <- None;
+          clear_aex_state t th ~locked:true;
           ok)
 
 let delete_thread t ~caller ~tid =
@@ -850,7 +878,7 @@ let exit_enclave t ~caller ~core =
           with_thread_lock t th (fun () ->
               note_write t ~lock:(thread_lock_name th.tid) ~field:"phase";
               th.phase <- T_assigned;
-              th.aex_state <- None;
+              clear_aex_state t th ~locked:true;
               scrub_core t c;
               ok)
     end
@@ -877,8 +905,7 @@ let read_aex_state t ~caller ~tid =
         match th.aex_state with
         | None -> err_state "no AEX state is pending"
         | Some dump ->
-            note_write t ~lock:(thread_lock_name tid) ~field:"aex_state";
-            th.aex_state <- None;
+            clear_aex_state t th ~locked:true;
             let b = Bytes.create aex_dump_bytes in
             for i = 1 to 31 do
               Bytes.set_int64_le b ((i - 1) * 8) dump.(i)
@@ -1277,10 +1304,10 @@ let emergency_reclaim_enclave t eid =
               th.t_owner <- None;
               th.t_offered <- None;
               th.phase <- T_available;
-              th.aex_state <- None;
+              th.t_lock <- false;
+              clear_aex_state t th ~locked:false;
               th.entry_pc <- 0L;
-              th.entry_sp <- 0L;
-              th.t_lock <- false
+              th.entry_sp <- 0L
           | None -> ())
         e.threads;
       Mailbox.wipe e.mailboxes;
@@ -1353,7 +1380,7 @@ let handle_core_quarantine t (c : Hw.Machine.core) ~reason:_ =
   match running_thread_on t c.Hw.Machine.id with
   | Some th ->
       th.phase <- T_assigned;
-      th.aex_state <- None
+      clear_aex_state t th ~locked:false
   | None -> ()
 
 (* The M-mode trap funnel (Fig. 1). *)

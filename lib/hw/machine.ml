@@ -33,6 +33,7 @@ type config = {
   l2 : Cache.config;
   tlb_entries : int;
   pte_fetch_cycles : int;
+  pmp_entries : int;
 }
 
 (* Counter handles resolved once at [set_sink] time so the hot paths
@@ -103,6 +104,7 @@ let default_config =
     l2 = Cache.default_l2;
     tlb_entries = 32;
     pte_fetch_cycles = 12;
+    pmp_entries = Pmp.entry_count;
   }
 
 (* Drop every predecoded slot overlapping the dirtied byte range.
@@ -135,7 +137,7 @@ let create cfg =
       quarantined = false;
       tlb = Tlb.create ~entries:cfg.tlb_entries;
       l1 = Cache.create cfg.l1;
-      pmp = Pmp.create ();
+      pmp = Pmp.create ~entries:cfg.pmp_entries ();
       timer_cmp = None;
       pending_interrupts = Queue.create ();
     }
@@ -356,44 +358,109 @@ let charge_cache t (core : core) ~paddr =
   in
   core.cycles <- core.cycles + cost
 
-(* Charge the cache hierarchy for an access and return the paddr. *)
+(* Charge the cache hierarchy for an instruction fetch and return the
+   paddr. A PC that is not 4-byte aligned raises the precise
+   [Instruction_address_misaligned] trap (RISC-V: JALR clears only bit
+   0 of its target, so bit 1 can survive into the PC); the fast fetch
+   path and the block executor both bail to this slow path on a
+   misaligned PC, so the trap is identical either way. *)
 let cached_access t core ~access ~vaddr ~size =
-  if Int64.rem vaddr (Int64.of_int size) <> 0L then
-    raise (Fault (Trap.Misaligned (access, vaddr)));
+  if access = Trap.Execute && Int64.logand vaddr 3L <> 0L then
+    raise (Fault (Trap.Instruction_address_misaligned vaddr));
   let paddr = translate_exn t core ~access ~vaddr in
   ecc_check_exn t ~core_id:core.id ~cycles:core.cycles ~pos:paddr ~len:size;
   charge_cache t core ~paddr;
   paddr
+
+(* A data access is either contiguous in physical memory or, when it
+   crosses a page boundary, split across two independent translations
+   (this machine supports misaligned loads/stores in hardware, like
+   most RV64 application cores). Both halves are translated — and both
+   PMP / ownership checks pass — before a single byte moves, so a fault
+   on the second page can neither leak bytes through the first page's
+   translation nor leave a partial store behind. *)
+type span = Contig of int | Split of int * int * int
+(* [Split (paddr_lo, bytes_lo, paddr_hi)]: [bytes_lo] bytes at
+   [paddr_lo], the rest at [paddr_hi]. *)
+
+let data_access t core ~access ~vaddr ~size =
+  let off = Int64.to_int vaddr land page_mask in
+  if off + size <= Phys_mem.page_size then begin
+    let paddr = translate_exn t core ~access ~vaddr in
+    ecc_check_exn t ~core_id:core.id ~cycles:core.cycles ~pos:paddr ~len:size;
+    charge_cache t core ~paddr;
+    Contig paddr
+  end
+  else begin
+    let bytes_lo = Phys_mem.page_size - off in
+    let paddr_lo = translate_exn t core ~access ~vaddr in
+    let paddr_hi =
+      translate_exn t core ~access
+        ~vaddr:(Int64.add vaddr (Int64.of_int bytes_lo))
+    in
+    ecc_check_exn t ~core_id:core.id ~cycles:core.cycles ~pos:paddr_lo
+      ~len:bytes_lo;
+    ecc_check_exn t ~core_id:core.id ~cycles:core.cycles ~pos:paddr_hi
+      ~len:(size - bytes_lo);
+    charge_cache t core ~paddr:paddr_lo;
+    charge_cache t core ~paddr:paddr_hi;
+    Split (paddr_lo, bytes_lo, paddr_hi)
+  end
 
 let load t core ~op ~vaddr =
   let open Isa in
   let size = match op with
     | Lb | Lbu -> 1 | Lh | Lhu -> 2 | Lw | Lwu -> 4 | Ld -> 8
   in
-  let paddr = cached_access t core ~access:Trap.Read ~vaddr ~size in
+  let raw =
+    match data_access t core ~access:Trap.Read ~vaddr ~size with
+    | Contig paddr -> (
+        match size with
+        | 1 -> Int64.of_int (Phys_mem.read_u8 t.mem paddr)
+        | 2 -> Int64.of_int (Phys_mem.read_u16 t.mem paddr)
+        | 4 ->
+            Int64.logand
+              (Int64.of_int32 (Phys_mem.read_u32 t.mem paddr))
+              0xffffffffL
+        | _ -> Phys_mem.read_u64 t.mem paddr)
+    | Split (lo, bytes_lo, hi) ->
+        let v = ref 0L in
+        for i = size - 1 downto 0 do
+          let b =
+            if i < bytes_lo then Phys_mem.read_u8 t.mem (lo + i)
+            else Phys_mem.read_u8 t.mem (hi + i - bytes_lo)
+          in
+          v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int b)
+        done;
+        !v
+  in
   match op with
   | Lb ->
-      Int64.of_int
-        (Sanctorum_util.Bits.sign_extend (Phys_mem.read_u8 t.mem paddr) ~width:8)
-  | Lbu -> Int64.of_int (Phys_mem.read_u8 t.mem paddr)
+      Int64.of_int (Sanctorum_util.Bits.sign_extend (Int64.to_int raw) ~width:8)
+  | Lbu -> raw
   | Lh ->
-      Int64.of_int
-        (Sanctorum_util.Bits.sign_extend (Phys_mem.read_u16 t.mem paddr) ~width:16)
-  | Lhu -> Int64.of_int (Phys_mem.read_u16 t.mem paddr)
-  | Lw -> Int64.of_int32 (Phys_mem.read_u32 t.mem paddr)
-  | Lwu ->
-      Int64.logand (Int64.of_int32 (Phys_mem.read_u32 t.mem paddr)) 0xffffffffL
-  | Ld -> Phys_mem.read_u64 t.mem paddr
+      Int64.of_int (Sanctorum_util.Bits.sign_extend (Int64.to_int raw) ~width:16)
+  | Lhu -> raw
+  | Lw -> Int64.of_int32 (Int64.to_int32 raw)
+  | Lwu -> raw
+  | Ld -> raw
 
 let store t core ~op ~vaddr ~value =
   let open Isa in
   let size = match op with Sb -> 1 | Sh -> 2 | Sw -> 4 | Sd -> 8 in
-  let paddr = cached_access t core ~access:Trap.Write ~vaddr ~size in
-  match op with
-  | Sb -> Phys_mem.write_u8 t.mem paddr (Int64.to_int value land 0xff)
-  | Sh -> Phys_mem.write_u16 t.mem paddr (Int64.to_int value land 0xffff)
-  | Sw -> Phys_mem.write_u32 t.mem paddr (Int64.to_int32 value)
-  | Sd -> Phys_mem.write_u64 t.mem paddr value
+  match data_access t core ~access:Trap.Write ~vaddr ~size with
+  | Contig paddr -> (
+      match op with
+      | Sb -> Phys_mem.write_u8 t.mem paddr (Int64.to_int value land 0xff)
+      | Sh -> Phys_mem.write_u16 t.mem paddr (Int64.to_int value land 0xffff)
+      | Sw -> Phys_mem.write_u32 t.mem paddr (Int64.to_int32 value)
+      | Sd -> Phys_mem.write_u64 t.mem paddr value)
+  | Split (lo, bytes_lo, hi) ->
+      for i = 0 to size - 1 do
+        let b = Int64.to_int (Int64.shift_right_logical value (8 * i)) land 0xff in
+        let pos = if i < bytes_lo then lo + i else hi + i - bytes_lo in
+        Phys_mem.write_u8 t.mem pos b
+      done
 
 let alu op a b =
   let open Isa in

@@ -55,6 +55,10 @@ type config = {
   l2 : Cache.config;
   tlb_entries : int;
   pte_fetch_cycles : int;  (** added per page-walk step *)
+  pmp_entries : int;
+      (** PMP entries per core ({!Pmp.entry_count} by default). The
+          Keystone platform needs roughly one deny entry per
+          concurrently live enclave, so many-enclave runs raise this. *)
 }
 
 val default_config : config

@@ -14,8 +14,9 @@ type t = entry array
 
 let entry_count = 16
 
-let create () =
-  Array.init entry_count (fun _ ->
+let create ?(entries = entry_count) () =
+  if entries < 1 then invalid_arg "Pmp.create: entries must be >= 1";
+  Array.init entries (fun _ ->
       {
         active = false;
         lo = 0;
@@ -26,8 +27,10 @@ let create () =
         locked = false;
       })
 
+let count t = Array.length t
+
 let set_entry t ~index ~lo ~hi ~r ~w ~x ~locked =
-  if index < 0 || index >= entry_count then
+  if index < 0 || index >= Array.length t then
     invalid_arg "Pmp.set_entry: index out of range";
   if lo < 0 || hi < lo then invalid_arg "Pmp.set_entry: bad range";
   let e = t.(index) in
@@ -41,7 +44,7 @@ let set_entry t ~index ~lo ~hi ~r ~w ~x ~locked =
   e.locked <- locked
 
 let clear_entry t ~index =
-  if index < 0 || index >= entry_count then
+  if index < 0 || index >= Array.length t then
     invalid_arg "Pmp.clear_entry: index out of range";
   if t.(index).locked then invalid_arg "Pmp.clear_entry: entry is locked";
   t.(index).active <- false
@@ -53,8 +56,9 @@ let permits e access =
   | Trap.Execute -> e.x
 
 let check t ~privilege ~access ~paddr =
+  let n = Array.length t in
   let rec go i =
-    if i >= entry_count then privilege = M
+    if i >= n then privilege = M
     else begin
       let e = t.(i) in
       if e.active && paddr >= e.lo && paddr < e.hi then

@@ -11,9 +11,16 @@ type t
 type privilege = U | S | M
 
 val entry_count : int
-(** 16 entries, as in the ratified spec. *)
+(** The default entry count: 16, as in the ratified spec. *)
 
-val create : unit -> t
+val create : ?entries:int -> unit -> t
+(** [entries] defaults to {!entry_count}. The ratified spec allows up
+    to 64; larger values model generous future hardware — the Keystone
+    platform needs roughly one deny entry per concurrently live
+    enclave, so many-enclave stress runs size the PMP accordingly. *)
+
+val count : t -> int
+(** The number of entries this instance was created with. *)
 
 val set_entry :
   t ->

@@ -2,6 +2,7 @@ type access = Read | Write | Execute
 
 type exception_cause =
   | Illegal_instruction of int32
+  | Instruction_address_misaligned of int64
   | Misaligned of access * int64
   | Access_fault of access * int64
   | Page_fault of access * int64
@@ -27,6 +28,7 @@ let access_label = function
 
 let cause_label = function
   | Exception (Illegal_instruction _) -> "illegal-instruction"
+  | Exception (Instruction_address_misaligned _) -> "instr-misaligned"
   | Exception (Misaligned (a, _)) -> "misaligned-" ^ access_label a
   | Exception (Access_fault (a, _)) -> "access-fault-" ^ access_label a
   | Exception (Page_fault (a, _)) -> "page-fault-" ^ access_label a
@@ -40,6 +42,8 @@ let cause_label = function
 let pp_cause ppf = function
   | Exception (Illegal_instruction w) ->
       Format.fprintf ppf "illegal instruction %08lx" w
+  | Exception (Instruction_address_misaligned addr) ->
+      Format.fprintf ppf "instruction address misaligned at 0x%Lx" addr
   | Exception (Misaligned (a, addr)) ->
       Format.fprintf ppf "misaligned %a at 0x%Lx" pp_access a addr
   | Exception (Access_fault (a, addr)) ->

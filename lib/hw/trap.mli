@@ -7,6 +7,9 @@ type access = Read | Write | Execute
 
 type exception_cause =
   | Illegal_instruction of int32
+  | Instruction_address_misaligned of int64
+      (** a fetch from a PC that is not 4-byte aligned (JALR clears only
+          bit 0 of the target, so bit 1 can survive into the PC) *)
   | Misaligned of access * int64  (** access kind and faulting address *)
   | Access_fault of access * int64
       (** physical isolation violation (PMP / DRAM-region check) *)

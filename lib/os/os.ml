@@ -162,6 +162,9 @@ let free_units t units =
       if i >= 0 && i < Array.length t.unit_free then t.unit_free.(i) <- true)
     units
 
+let free_unit_count t =
+  Array.fold_left (fun acc free -> if free then acc + 1 else acc) 0 t.unit_free
+
 (* Untrusted memory access helper: the native OS only ever touches
    memory it owns (the machine would fault anything else anyway). *)
 let os_owned t ~paddr =
@@ -366,6 +369,140 @@ let continue_running t ~tid ~core ~fuel ?quantum () =
       Error
         (Sanctorum.Api_error.Invalid_state
            "continue_running: thread is not running on this core")
+
+(* --------------------------------------------------------------- *)
+(* Fair multi-enclave scheduling: a round-robin run queue dispatching
+   one quantum per live core per round. The scheduler owns only the
+   *decision* of who runs where — every entry still goes through the
+   monitor's enter/resume checks, so a scheduling mistake surfaces as
+   an API error in the slot, never as a hole.
+
+   A thread whose fuel ran dry while still [Running] (a lost timer
+   tick) is pinned to its core: the OS cannot re-enter a thread that
+   never exited, so the next round continues it in place. Everything
+   else rotates freely. *)
+
+module Scheduler = struct
+  type job = {
+    j_eid : int;
+    j_tid : int;
+    mutable j_pinned : int option; (* core still Running this thread *)
+    mutable j_errors : int; (* consecutive dispatch errors *)
+  }
+
+  type slot = {
+    s_core : int;
+    s_eid : int;
+    s_tid : int;
+    s_cycles : int; (* simulated cycles this quantum consumed *)
+    s_instret : int; (* instructions retired this quantum *)
+    s_outcome : (run_outcome, Sanctorum.Api_error.t) result;
+  }
+
+  type sched = {
+    s_os : t;
+    s_cores : int list;
+    s_queue : job Queue.t;
+    mutable s_pinned : (int * job) list; (* core -> job, small *)
+  }
+
+  (* A job erroring this many times in a row is dropped from the
+     queue — a livelocked entry must not wedge the whole engine. *)
+  let max_errors = 3
+
+  let create os ~cores =
+    if cores = [] then invalid_arg "Os.Scheduler.create: no cores";
+    { s_os = os; s_cores = cores; s_queue = Queue.create (); s_pinned = [] }
+
+  let enqueue sch ~eid ~tid =
+    Queue.add { j_eid = eid; j_tid = tid; j_pinned = None; j_errors = 0 }
+      sch.s_queue
+
+  let pending sch = Queue.length sch.s_queue + List.length sch.s_pinned
+
+  let dispatch sch ~core ~fuel ~quantum j =
+    let os = sch.s_os in
+    match j.j_pinned with
+    | Some _ -> continue_running os ~tid:j.j_tid ~core ~fuel ~quantum ()
+    | None -> (
+        match Sanctorum.Sm.thread_has_aex_state os.sm ~tid:j.j_tid with
+        | Ok true ->
+            resume_enclave os ~eid:j.j_eid ~tid:j.j_tid ~core ~fuel ~quantum ()
+        | Ok false | Error _ ->
+            run_enclave os ~eid:j.j_eid ~tid:j.j_tid ~core ~fuel ~quantum ())
+
+  (* One scheduler round: at most one quantum per non-quarantined
+     core. Returns the dispatched slots in core order; [Exited],
+     [Faulted] and [Killed] jobs leave the queue (the caller decides
+     whether to re-[enqueue], reclaim, or park them). *)
+  let round sch ~fuel ~quantum =
+    let os = sch.s_os in
+    let slots = ref [] in
+    List.iter
+      (fun core ->
+        let c = Hw.Machine.core os.machine core in
+        if not c.Hw.Machine.quarantined then begin
+          let job =
+            match List.assoc_opt core sch.s_pinned with
+            | Some j ->
+                sch.s_pinned <- List.remove_assoc core sch.s_pinned;
+                Some j
+            | None -> Queue.take_opt sch.s_queue
+          in
+          match job with
+          | None -> ()
+          | Some j ->
+              let cycles0 = c.Hw.Machine.cycles
+              and instret0 = c.Hw.Machine.instret in
+              let r = dispatch sch ~core ~fuel ~quantum j in
+              (match r with
+              | Ok Preempted ->
+                  j.j_pinned <- None;
+                  j.j_errors <- 0;
+                  Queue.add j sch.s_queue
+              | Ok Fuel_exhausted ->
+                  (* still Running in there: only this core can go on *)
+                  j.j_pinned <- Some core;
+                  j.j_errors <- 0;
+                  sch.s_pinned <- (core, j) :: sch.s_pinned
+              | Ok (Exited | Faulted _ | Killed) -> j.j_pinned <- None
+              | Error _ ->
+                  j.j_errors <- j.j_errors + 1;
+                  if j.j_errors < max_errors then Queue.add j sch.s_queue);
+              slots :=
+                {
+                  s_core = core;
+                  s_eid = j.j_eid;
+                  s_tid = j.j_tid;
+                  s_cycles = c.Hw.Machine.cycles - cycles0;
+                  s_instret = c.Hw.Machine.instret - instret0;
+                  s_outcome = r;
+                }
+                :: !slots
+        end)
+      sch.s_cores;
+    List.rev !slots
+
+  (* Drive every pinned (still-Running) thread to an architectural
+     stop, so reclamation can proceed: a Running thread blocks
+     [delete_enclave]. Bounded — a thread that will not stop within
+     the budget is left pinned and reported. *)
+  let drain sch ~fuel ~quantum =
+    let budget = ref 64 in
+    while sch.s_pinned <> [] && !budget > 0 do
+      decr budget;
+      List.iter
+        (fun (core, j) ->
+          match
+            continue_running sch.s_os ~tid:j.j_tid ~core ~fuel ~quantum ()
+          with
+          | Ok Fuel_exhausted -> ()
+          | Ok _ | Error _ ->
+              sch.s_pinned <- List.remove_assoc core sch.s_pinned)
+        sch.s_pinned
+    done;
+    sch.s_pinned = []
+end
 
 (* --------------------------------------------------------------- *)
 (* Untrusted user programs (the baseline protection domain) *)

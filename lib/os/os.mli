@@ -51,6 +51,11 @@ val alloc_units : t -> count:int -> int list
 
 val free_units : t -> int list -> unit
 
+val free_unit_count : t -> int
+(** Grantable memory units currently free in the OS pool — the
+    reclamation baseline: after every enclave is reclaimed, the count
+    must return to its boot value. *)
+
 val unit_bytes : t -> int
 
 val os_write : t -> paddr:int -> string -> unit
@@ -93,6 +98,49 @@ val retry_transient :
   (unit -> 'a Sanctorum.Api_error.result) -> 'a Sanctorum.Api_error.result
 (** Run a monitor transaction, retrying a bounded number of times on
     [Concurrent_call] (the only transient error class, §V-A). *)
+
+(** {2 Fair multi-enclave scheduling}
+
+    A round-robin run queue dispatching one quantum per live core per
+    round. The scheduler owns only the {e decision} of who runs where;
+    every entry still goes through the monitor's enter/resume checks. *)
+
+module Scheduler : sig
+  type sched
+
+  type slot = {
+    s_core : int;
+    s_eid : int;
+    s_tid : int;
+    s_cycles : int;  (** simulated cycles this quantum consumed *)
+    s_instret : int;  (** instructions retired this quantum *)
+    s_outcome : (run_outcome, Sanctorum.Api_error.t) result;
+  }
+
+  val create : t -> cores:int list -> sched
+  (** The cores this scheduler may dispatch on. Quarantined cores are
+      skipped automatically at each round. *)
+
+  val enqueue : sched -> eid:int -> tid:int -> unit
+  (** Append a runnable thread to the tail of the run queue. *)
+
+  val pending : sched -> int
+  (** Jobs still queued or pinned to a core (excludes exited ones). *)
+
+  val round : sched -> fuel:int -> quantum:int -> slot list
+  (** One scheduler round: at most one quantum per non-quarantined
+      core, in core order. Enter vs resume is chosen by whether the
+      thread holds a pending AEX dump; a thread whose fuel ran dry
+      while still [Running] (lost timer tick) is pinned to its core
+      and continued there next round. [Exited], [Faulted] and
+      [Killed] jobs leave the queue — re-[enqueue] to run them again.
+      A job erroring 3 times in a row is dropped. *)
+
+  val drain : sched -> fuel:int -> quantum:int -> bool
+  (** Drive every pinned (still-Running) thread to an architectural
+      stop so reclamation can proceed. [false] if some thread refused
+      to stop within the internal budget. *)
+end
 
 (** {2 Untrusted programs}
 

@@ -18,10 +18,16 @@ let backend_name = function
   | Keystone_backend -> "keystone"
 
 let create ?(backend = Sanctum_backend) ?(cores = 4)
-    ?(mem_bytes = 16 * 1024 * 1024) ?l2 ?(seed = "testbed") ?sink () =
+    ?(mem_bytes = 16 * 1024 * 1024) ?l2 ?pmp_entries ?(seed = "testbed") ?sink
+    () =
   let base = Hw.Machine.default_config in
   let l2 = Option.value ~default:base.Hw.Machine.l2 l2 in
-  let machine = Hw.Machine.create { base with cores; mem_bytes; l2 } in
+  let pmp_entries =
+    Option.value ~default:base.Hw.Machine.pmp_entries pmp_entries
+  in
+  let machine =
+    Hw.Machine.create { base with cores; mem_bytes; l2; pmp_entries }
+  in
   let platform =
     match backend with
     | Sanctum_backend -> Pf.Sanctum.create machine

@@ -20,6 +20,7 @@ val create :
   ?cores:int ->
   ?mem_bytes:int ->
   ?l2:Sanctorum_hw.Cache.config ->
+  ?pmp_entries:int ->
   ?seed:string ->
   ?sink:Sanctorum_telemetry.Sink.t ->
   unit ->

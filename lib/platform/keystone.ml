@@ -25,13 +25,13 @@ let create machine =
   in
   let program_pmp (core : Hw.Machine.core) domain =
     let pmp = core.Hw.Machine.pmp in
-    for i = 1 to Hw.Pmp.entry_count - 1 do
+    for i = 1 to Hw.Pmp.count pmp - 1 do
       Hw.Pmp.clear_entry pmp ~index:i
     done;
     let next = ref 1 in
     let overflow = ref false in
     let add ~lo ~hi ~allow =
-      if !next < Hw.Pmp.entry_count - 1 then begin
+      if !next < Hw.Pmp.count pmp - 1 then begin
         Hw.Pmp.set_entry pmp ~index:!next ~lo ~hi ~r:allow ~w:allow ~x:allow
           ~locked:false;
         incr next
@@ -58,10 +58,10 @@ let create machine =
        no background entry, unmatched U/S accesses are denied, so
        running out of PMP entries can cause spurious faults but never
        an isolation violation. *)
-    if !overflow then Hw.Pmp.clear_entry pmp ~index:(Hw.Pmp.entry_count - 1)
+    if !overflow then Hw.Pmp.clear_entry pmp ~index:(Hw.Pmp.count pmp - 1)
     else
       Hw.Pmp.set_entry pmp
-        ~index:(Hw.Pmp.entry_count - 1)
+        ~index:(Hw.Pmp.count pmp - 1)
         ~lo:0 ~hi:mem_bytes ~r:true ~w:true ~x:true ~locked:false
   in
   let phys_check ~(core : Hw.Machine.core) ~access ~paddr =

@@ -67,6 +67,25 @@ let observe h sample =
   let b = bucket_of sample in
   h.buckets.(b) <- h.buckets.(b) + 1
 
+(* Percentiles resolve to the power-of-two buckets: walk to the bucket
+   holding the q-th sample and report its upper bound, clamped to the
+   observed maximum. Coarse, but monotone and cheap — good enough for
+   latency reporting. *)
+let percentile h q =
+  if h.hcount = 0 then 0
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int h.hcount))) in
+    let rec go b seen =
+      if b >= bucket_count then h.hmax
+      else begin
+        let seen = seen + h.buckets.(b) in
+        if seen >= rank then min h.hmax ((1 lsl (b + 1)) - 1) else go (b + 1) seen
+      end
+    in
+    go 0 0
+  end
+
 let summary h =
   {
     count = h.hcount;

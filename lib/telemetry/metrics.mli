@@ -45,6 +45,11 @@ val observe : histogram -> int -> unit
 
 val summary : histogram -> summary
 
+val percentile : histogram -> float -> int
+(** [percentile h q] for [q] in [0, 1]: an upper bound on the value of
+    the [q]-th sample, resolved to the histogram's power-of-two buckets
+    and clamped to the observed maximum. [0] on an empty histogram. *)
+
 val name : item -> string
 val find : t -> string -> item option
 val to_list : t -> (string * item) list

@@ -21,4 +21,5 @@ let () =
       Test_analysis.suite;
       Test_faults.suite;
       Test_fastpath.suite;
+      Test_workload.suite;
     ]

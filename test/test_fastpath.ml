@@ -240,9 +240,12 @@ type op =
   | Alu_imm of int * int * int * int
   | Load_data of int * int * int
   | Store_data of int * int * int
+  | Load_cross of int * int * int (* page-boundary-straddling load *)
+  | Store_cross of int * int * int (* page-boundary-straddling store *)
   | Store_code of int * int
   | Branch_fwd of int * int * int * int
   | Jal_fwd of int
+  | Jalr_mis of int (* indirect jump, target possibly 2-misaligned *)
   | Read_cycle of int
   | Wild_load of int
   | Break
@@ -291,10 +294,24 @@ let instr_of_op op =
       let sop = store_ops.(s mod 4) in
       let size = match sop with Sb -> 1 | Sh -> 2 | Sw -> 4 | Sd -> 8 in
       Store (sop, r rs, t1, data_off size off)
+  | Load_cross (s, rd, off) ->
+      (* s0/s1 hold the first and second page boundaries past the data
+         base; a wide access a few bytes below either straddles it *)
+      Load (load_ops.(s mod 7), r rd,
+            (if off land 8 = 0 then s0 else s1),
+            -(1 + (off mod 7)))
+  | Store_cross (s, rs, off) ->
+      Store (store_ops.(s mod 4), r rs,
+             (if off land 8 = 0 then s0 else s1),
+             -(1 + (off mod 7)))
   | Store_code (rs, w) -> Store (Sw, r rs, t0, w mod code_words * 4)
   | Branch_fwd (o, r1, r2, skip) ->
       Branch (branch_ops.(o mod 6), r r1, r r2, 4 * (2 + (skip mod 2)))
   | Jal_fwd skip -> Jal (t5, 4 * (2 + (skip mod 2)))
+  | Jalr_mis raw ->
+      (* even offsets 0..510 into the code page: bit 1 survives JALR's
+         bit-0 clearing, so half of these targets are 2-misaligned *)
+      Jalr (t5, t0, raw land 0x1fe)
   | Read_cycle rd -> Csr_read_cycle (r rd)
   | Wild_load rd -> Load (Ld, r rd, a6, 0)
   | Break -> Ebreak
@@ -344,6 +361,10 @@ let run_one ~fast ~drive ~mode ~ops ~events ~raws =
       traps := Format.asprintf "%a" Hw.Trap.pp_cause cause :: !traps;
       match cause with
       | Hw.Trap.Exception Hw.Trap.Ecall_user -> c.Hw.Machine.halted <- true
+      | Hw.Trap.Exception (Hw.Trap.Instruction_address_misaligned _) ->
+          (* realign before skipping, or the retry would trap forever *)
+          c.Hw.Machine.pc <-
+            Int64.add (Int64.logand c.Hw.Machine.pc (Int64.lognot 3L)) 4L
       | Hw.Trap.Exception _ ->
           (* emulate a handler that skips the faulting instruction *)
           c.Hw.Machine.pc <- Int64.add c.Hw.Machine.pc 4L
@@ -372,11 +393,21 @@ let run_one ~fast ~drive ~mode ~ops ~events ~raws =
           { Hw.Page_table.r = true; w = true; x = true; u = true };
         map 0x20000 0x20
           { Hw.Page_table.r = true; w = true; x = false; u = true };
+        (* second data page in a non-adjacent frame, so page-crossing
+           accesses must split-translate; 0x22000 stays unmapped so a
+           cross out of it faults *)
+        map 0x21000 0x28
+          { Hw.Page_table.r = true; w = true; x = false; u = true };
         c.Hw.Machine.satp_root <- Some root;
         (0x10000, 0x20000, 0x30000)
   in
   let open Hw.Isa in
-  let prologue = li t0 code_base @ li t1 data_base @ li a6 wild in
+  let page = Hw.Phys_mem.page_size in
+  let prologue =
+    li t0 code_base @ li t1 data_base @ li a6 wild
+    @ li s0 (data_base + page)
+    @ li s1 (data_base + (2 * page))
+  in
   let body = List.map instr_of_op ops in
   let program = prologue @ body @ [ Ecall; Ecall; Ecall; Ecall; Ecall ] in
   Hw.Phys_mem.write_string mem ~pos:code_base (encode_program program);
@@ -432,10 +463,13 @@ let case_gen =
           (pair sm sm);
         map3 (fun a b c -> Load_data (a, b, c)) sm sm sm;
         map3 (fun a b c -> Store_data (a, b, c)) sm sm sm;
+        map3 (fun a b c -> Load_cross (a, b, c)) sm sm sm;
+        map3 (fun a b c -> Store_cross (a, b, c)) sm sm sm;
         map2 (fun a b -> Store_code (a, b)) sm sm;
         map2 (fun (a, b) (c, d) -> Branch_fwd (a, b, c, d)) (pair sm sm)
           (pair sm sm);
         map (fun a -> Jal_fwd a) sm;
+        map (fun a -> Jalr_mis a) sm;
         map (fun a -> Read_cycle a) sm;
         map (fun a -> Wild_load a) sm;
         pure Break;
@@ -498,6 +532,116 @@ let prop_differential_run =
     QCheck2.Gen.(
       pair case_gen (list_size (int_range 1 8) (int_bound 62)))
     (fun (case, chunks) -> compare_pair ~drive:(Chunked chunks) case)
+
+(* ------------------------------------------------------------------ *)
+(* Pinned regressions for the ISA/MMU edge cases. *)
+
+(* JALR clears only bit 0 of its target (RISC-V spec), so bit 1
+   survives into the PC — the fetch must raise the precise
+   instruction-address trap, identically with the fast path on and
+   off. Before the fix, both fetch paths rounded the address down and
+   silently executed the containing aligned word. *)
+let test_fetch_misaligned_jalr () =
+  let open Hw.Isa in
+  let jump_to fast target =
+    let m, last = bare_machine () in
+    Hw.Machine.set_fast_path m fast;
+    ignore (run_at m 0x1000 (li t0 target @ [ Jalr (zero, t0, 0) ]));
+    !last
+  in
+  List.iter
+    (fun fast ->
+      (match jump_to fast 0x2002 with
+      | Some
+          (Hw.Trap.Exception (Hw.Trap.Instruction_address_misaligned 0x2002L))
+        -> ()
+      | _ ->
+          Alcotest.failf "fast=%b: expected instr-misaligned at 0x2002" fast);
+      (* an odd target: the hardware clears bit 0, bit 1 survives *)
+      match jump_to fast 0x2003 with
+      | Some
+          (Hw.Trap.Exception (Hw.Trap.Instruction_address_misaligned 0x2002L))
+        -> ()
+      | _ ->
+          Alcotest.failf "fast=%b: odd target must trap at 0x2002" fast)
+    [ true; false ]
+
+(* Sv39 fixture for the page-crossing tests: identity-mapped code at
+   0x10000, data at 0x20000 -> frame 0x20 and 0x21000 -> frame 0x60
+   (deliberately non-adjacent), 0x22000 unmapped. *)
+let paged_machine () =
+  let m, last = bare_machine () in
+  let mem = Hw.Machine.mem m in
+  let next = ref 0x40 in
+  let alloc () =
+    let p = !next in
+    incr next;
+    p
+  in
+  let root = alloc () in
+  let map vaddr ppn perms =
+    Hw.Page_table.map mem ~root_ppn:root ~vaddr ~ppn ~perms ~alloc_table:alloc
+  in
+  map 0x10000 0x10 { Hw.Page_table.r = true; w = true; x = true; u = true };
+  map 0x20000 0x20 { Hw.Page_table.r = true; w = true; x = false; u = true };
+  map 0x21000 0x60 { Hw.Page_table.r = true; w = true; x = false; u = true };
+  (m, last, root)
+
+let run_paged m root prog =
+  Hw.Phys_mem.write_string (Hw.Machine.mem m) ~pos:0x10000
+    (Hw.Isa.encode_program prog);
+  let c = Hw.Machine.core m 0 in
+  Hw.Machine.reset_core_state c;
+  c.Hw.Machine.satp_root <- Some root;
+  c.Hw.Machine.pc <- 0x10000L;
+  c.Hw.Machine.halted <- false;
+  ignore (Hw.Machine.run m ~core:0 ~fuel:1_000);
+  c
+
+(* A Ld straddling two pages mapped to non-adjacent frames must
+   translate both pages and stitch the bytes — before the fix, the
+   second half was read through the first page's translation, i.e.
+   from a frame the enclave may not even own. *)
+let test_split_load_nonadjacent () =
+  List.iter
+    (fun fast ->
+      let m, last, root = paged_machine () in
+      Hw.Machine.set_fast_path m fast;
+      let mem = Hw.Machine.mem m in
+      Hw.Phys_mem.write_u32 mem 0x20ffc 0x44332211l;
+      Hw.Phys_mem.write_u32 mem 0x60000 0x88776655l;
+      let open Hw.Isa in
+      let c =
+        run_paged m root (li t1 0x21000 @ [ Load (Ld, a0, t1, -4); Ecall ])
+      in
+      check_bool "clean exit" true
+        (!last = Some (Hw.Trap.Exception Hw.Trap.Ecall_user));
+      check_i64
+        (Printf.sprintf "fast=%b: stitched across non-adjacent frames" fast)
+        0x8877665544332211L
+        (Hw.Machine.read_reg c Hw.Isa.a0))
+    [ true; false ]
+
+(* A store straddling into an unmapped page must fault on the second
+   page *before any byte is written* — a partial store through the
+   first page's translation would be exactly the leak the fix closes. *)
+let test_split_store_unmapped () =
+  let m, last, root = paged_machine () in
+  let mem = Hw.Machine.mem m in
+  Hw.Phys_mem.write_u32 mem 0x60ffc 0x5a5a5a5al;
+  let open Hw.Isa in
+  ignore
+    (run_paged m root
+       (li t1 0x22000 @ li t2 0x1234 @ [ Store (Sd, t2, t1, -4); Ecall ]));
+  (match !last with
+  | Some (Hw.Trap.Exception (Hw.Trap.Page_fault (Hw.Trap.Write, 0x22000L))) ->
+      ()
+  | Some c ->
+      Alcotest.failf "unexpected trap: %s"
+        (Format.asprintf "%a" Hw.Trap.pp_cause c)
+  | None -> Alcotest.fail "expected a write page fault at 0x22000");
+  check_bool "no partial store leaked into the mapped page" true
+    (Hw.Phys_mem.read_u32 mem 0x60ffc = 0x5a5a5a5al)
 
 (* Same property through the whole stack: boot, install an enclave,
    run the fig2-style compute loop under the monitor — fast path on
@@ -562,6 +706,12 @@ let suite =
         test_cache_access_hit_stats;
       Alcotest.test_case "ecc: corrected counter adds by n" `Quick
         test_ecc_corrected_batch;
+      Alcotest.test_case "fetch: misaligned JALR target traps precisely"
+        `Quick test_fetch_misaligned_jalr;
+      Alcotest.test_case "mmu: page-crossing load splits the translation"
+        `Quick test_split_load_nonadjacent;
+      Alcotest.test_case "mmu: page-crossing store into unmapped faults whole"
+        `Quick test_split_store_unmapped;
       Alcotest.test_case "differential: full stack enclave run" `Quick
         test_differential_full_stack;
       QCheck_alcotest.to_alcotest prop_differential;

@@ -398,12 +398,26 @@ let test_machine_memory () =
   check_i64 "lb sign" (-5L) (Hw.Machine.read_reg c Hw.Isa.a3)
 
 let test_machine_misaligned () =
+  (* Misaligned *data* accesses are supported in hardware (like most
+     RV64 application cores): a word store/load at an odd address
+     round-trips, little-endian at the byte level. Misaligned *fetch*
+     addresses raise the precise instruction-address trap instead —
+     see the fastpath suite for the pinned JALR regression. *)
   let m, last = bare_machine () in
   let open Hw.Isa in
-  let _ = run_program m (li t0 0x2001 @ [ Load (Ld, a0, t0, 0); Ecall ]) in
-  match !last with
-  | Some (Hw.Trap.Exception (Hw.Trap.Misaligned (Hw.Trap.Read, 0x2001L))) -> ()
-  | _ -> Alcotest.fail "expected misaligned fault"
+  let prog =
+    li t0 0x2001
+    @ li t1 0x01234567
+    @ [ Store (Sw, t1, t0, 0); Load (Lwu, a0, t0, 0); Ecall ]
+  in
+  let c = run_program m prog in
+  check_bool "no trap before the exit ecall" true
+    (!last = Some (Hw.Trap.Exception Hw.Trap.Ecall_user));
+  check_i64 "misaligned store/load round-trips" 0x01234567L
+    (Hw.Machine.read_reg c Hw.Isa.a0);
+  Alcotest.(check int)
+    "low byte lands at the misaligned address" 0x67
+    (Hw.Phys_mem.read_u8 (Hw.Machine.mem m) 0x2001)
 
 let test_machine_illegal () =
   let m, last = bare_machine () in
@@ -504,7 +518,8 @@ let suite =
       Alcotest.test_case "machine x0" `Quick test_machine_x0;
       Alcotest.test_case "machine branches" `Quick test_machine_branches;
       Alcotest.test_case "machine loads/stores" `Quick test_machine_memory;
-      Alcotest.test_case "misaligned fault" `Quick test_machine_misaligned;
+      Alcotest.test_case "misaligned data access" `Quick
+        test_machine_misaligned;
       Alcotest.test_case "illegal instruction" `Quick test_machine_illegal;
       Alcotest.test_case "timer interrupt" `Quick test_machine_timer;
       Alcotest.test_case "rdcycle" `Quick test_machine_rdcycle;
