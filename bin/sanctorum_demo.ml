@@ -321,6 +321,83 @@ let cmd_workload backend seed cores enclaves rounds mix fuel quantum
         exit 1
       end
 
+(* `sanctorum_demo fleet`: the multi-machine cluster layer — N shards,
+   one OCaml domain each, attested join, policy placement, quarantine
+   migration. Exit 1 on any dirty shard or unaccounted job. *)
+let cmd_fleet backend seed shards cores enclaves jobs target mix policy
+    retry_budget batch_rounds faults faulty_shards rogue =
+  let module Fl = Sanctorum_fleet.Cluster in
+  let module W = Sanctorum_workload.Workload in
+  let parse_shards what s =
+    if s = "" then []
+    else
+      String.split_on_char ',' s
+      |> List.map (fun t ->
+             match int_of_string_opt (String.trim t) with
+             | Some i when i >= 0 -> i
+             | _ ->
+                 Printf.eprintf "sanctorum_demo fleet: %s: bad shard id %S\n"
+                   what t;
+                 exit 124)
+  in
+  let mix =
+    match W.mix_of_string mix with
+    | Ok m -> m
+    | Error msg ->
+        Printf.eprintf "sanctorum_demo fleet: --mix: %s\n" msg;
+        exit 124
+  in
+  let policy =
+    match Sanctorum_fleet.Policy.of_string policy with
+    | Ok p -> p
+    | Error msg ->
+        Printf.eprintf "sanctorum_demo fleet: --policy: %s\n" msg;
+        exit 124
+  in
+  let fault_spec =
+    if faults = "" then None
+    else
+      match Sanctorum_faults.Spec.parse faults with
+      | Ok s -> Some s
+      | Error msg ->
+          Printf.eprintf "sanctorum_demo fleet: --faults: %s\n" msg;
+          exit 124
+  in
+  let faulty = parse_shards "--faulty-shards" faulty_shards in
+  let faults =
+    match fault_spec with
+    | None -> []
+    | Some spec ->
+        let targets = if faulty = [] then List.init shards Fun.id else faulty in
+        List.map (fun i -> (i, spec)) targets
+  in
+  let cfg =
+    {
+      Fl.default with
+      Fl.seed;
+      backend;
+      shards;
+      cores;
+      enclaves;
+      jobs;
+      target;
+      mix;
+      policy;
+      retry_budget;
+      batch_rounds;
+      faults;
+      rogue = parse_shards "--rogue" rogue;
+    }
+  in
+  let r = Fl.run cfg in
+  Format.printf "%a@." Fl.pp_outcome r;
+  if not r.Fl.r_clean then begin
+    Printf.printf
+      "fleet: dirty run (findings=%d accounted=%b) — failing closed\n"
+      r.Fl.r_findings r.Fl.r_accounted;
+    exit 1
+  end
+
 (* `sanctorum_demo check`: run the canonical scenarios on both backends
    with the full analysis harness armed — snapshot pass after every API
    call, lock-discipline and orderliness passes over the recorded trace
@@ -645,6 +722,115 @@ let workload_cmd =
       const cmd_workload $ backend $ seed $ cores $ enclaves $ rounds $ mix
       $ fuel $ quantum $ check_every)
 
+let fleet_cmd =
+  let backend =
+    Arg.(
+      value
+      & opt backend_conv Testbed.Keystone_backend
+      & info [ "backend"; "b" ] ~docv:"BACKEND"
+          ~doc:"Isolation backend: $(b,sanctum) or $(b,keystone).")
+  in
+  let seed =
+    Arg.(
+      value & opt string "fleet"
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Determinism seed: shard machines, job streams, placement and \
+             attestation nonces all derive from it.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 2
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Independent machine shards (one OCaml domain each).")
+  in
+  let cores =
+    Arg.(
+      value & opt int 4
+      & info [ "cores" ] ~docv:"C" ~doc:"Simulated cores per shard.")
+  in
+  let enclaves =
+    Arg.(
+      value & opt int 12
+      & info [ "enclaves" ] ~docv:"M"
+          ~doc:"Per-shard enclave capacity (PMP sizing and batch cap).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 24
+      & info [ "jobs" ] ~docv:"J" ~doc:"Total jobs across the fleet.")
+  in
+  let target =
+    Arg.(
+      value & opt int 4
+      & info [ "target" ] ~docv:"T"
+          ~doc:"Exits per job member before the job completes.")
+  in
+  let mix =
+    Arg.(
+      value & opt string "compute"
+      & info [ "mix" ] ~docv:"MIX"
+          ~doc:
+            "Traffic mix: $(b,compute), $(b,ipc), $(b,paging) or $(b,churn).")
+  in
+  let policy =
+    Arg.(
+      value & opt string "round-robin"
+      & info [ "policy" ] ~docv:"P"
+          ~doc:
+            "Placement policy: $(b,round-robin), $(b,least-loaded) or \
+             $(b,affinity).")
+  in
+  let retry_budget =
+    Arg.(
+      value & opt int 3
+      & info [ "retry-budget" ] ~docv:"B"
+          ~doc:
+            "Re-placements (migrations + retries) allowed per job before it \
+             is failed closed.")
+  in
+  let batch_rounds =
+    Arg.(
+      value & opt int 600
+      & info [ "batch-rounds" ] ~docv:"R"
+          ~doc:"Per-shard scheduler-round cap per generation.")
+  in
+  let faults =
+    Arg.(
+      value & opt string ""
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Fault spec armed on the faulty shards, e.g. $(b,mce:1) or \
+             $(b,bitflip:3,ipi-drop:2) (see $(b,chaos)).")
+  in
+  let faulty_shards =
+    Arg.(
+      value & opt string ""
+      & info [ "faulty-shards" ] ~docv:"IDS"
+          ~doc:
+            "Comma-separated shard ids the fault spec applies to (default: \
+             all shards, when --faults is given).")
+  in
+  let rogue =
+    Arg.(
+      value & opt string ""
+      & info [ "rogue" ] ~docv:"IDS"
+          ~doc:
+            "Comma-separated shard ids presenting corrupted attestation \
+             evidence; they are refused membership and never receive a job.")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Multi-machine cluster: N independent Machine+SM+OS shards (one \
+          OCaml domain each) behind an attested join protocol and a seeded \
+          load balancer, with quarantine-driven job migration; exit 1 on any \
+          dirty shard or unaccounted job.")
+    Term.(
+      const cmd_fleet $ backend $ seed $ shards $ cores $ enclaves $ jobs
+      $ target $ mix $ policy $ retry_budget $ batch_rounds $ faults
+      $ faulty_shards $ rogue)
+
 let leak_cmd =
   let secret =
     Arg.(value & opt int 5 & info [ "secret"; "s" ] ~doc:"Victim secret, 0-7.")
@@ -660,5 +846,5 @@ let () =
           (Cmd.info "sanctorum_demo" ~doc)
           [
             boot_cmd; run_cmd; attest_cmd; probe_cmd; leak_cmd; check_cmd;
-            chaos_cmd; workload_cmd;
+            chaos_cmd; workload_cmd; fleet_cmd;
           ]))

@@ -12,6 +12,7 @@ type enclave_state = { mutable initialized : bool; mutable entered : int }
 
 type state = {
   alive : (int, enclave_state) Hashtbl.t;  (* eid -> state *)
+  on_core : (int, int) Hashtbl.t;  (* core -> eid currently inside *)
   pending_aex : (int, unit) Hashtbl.t;  (* eid with an unconsumed AEX *)
   granted : (string * int, unit) Hashtbl.t;  (* (kind, rid) outstanding *)
   pending_mail : (int, int) Hashtbl.t;  (* recipient eid -> undelivered *)
@@ -34,7 +35,21 @@ let enclave_caller caller =
       with Failure _ -> None)
   | _ -> None
 
-let step st ~seq payload =
+(* A dying core abandons whatever thread was inside: the monitor will
+   never emit an exit for it, and — on the machine-check path — the
+   resident enclave is emergency-reclaimed while formally entered.
+   Release the trace-level entry so neither reads as a violation. *)
+let condemn st ~core =
+  match Hashtbl.find_opt st.on_core core with
+  | None -> ()
+  | Some eid ->
+      Hashtbl.remove st.on_core core;
+      (match Hashtbl.find_opt st.alive eid with
+      | Some e when e.entered > 0 -> e.entered <- e.entered - 1
+      | Some _ | None -> ());
+      Hashtbl.remove st.pending_aex eid
+
+let step st ~seq ~core payload =
   match payload with
   | Event.Enclave_created { eid } ->
       if Hashtbl.mem st.alive eid then
@@ -51,7 +66,7 @@ let step st ~seq payload =
             flag st "order.init" ~subject:(esub eid)
               (Printf.sprintf "initialized twice (event #%d)" seq)
           else e.initialized <- true)
-  | Event.Enclave_entered { eid; _ } -> (
+  | Event.Enclave_entered { eid; target_core; _ } -> (
       match Hashtbl.find_opt st.alive eid with
       | None ->
           flag st "order.enter" ~subject:(esub eid)
@@ -60,7 +75,8 @@ let step st ~seq payload =
           if not e.initialized then
             flag st "order.enter" ~subject:(esub eid)
               (Printf.sprintf "entered while still loading (event #%d)" seq);
-          e.entered <- e.entered + 1)
+          e.entered <- e.entered + 1;
+          Hashtbl.replace st.on_core target_core eid)
   | Event.Enclave_exited { eid; aex } -> (
       match Hashtbl.find_opt st.alive eid with
       | None ->
@@ -71,7 +87,23 @@ let step st ~seq payload =
             flag st "order.exit" ~subject:(esub eid)
               (Printf.sprintf "exit with no outstanding enter (event #%d)" seq)
           else e.entered <- e.entered - 1;
+          (* the exit event does not say which core; release one *)
+          (match
+             Hashtbl.fold
+               (fun core e' acc -> if e' = eid then Some core else acc)
+               st.on_core None
+           with
+          | Some core -> Hashtbl.remove st.on_core core
+          | None -> ());
           if aex then Hashtbl.replace st.pending_aex eid ())
+  | Event.Machine_check _ ->
+      (* the envelope names the faulted core; the trap handler that
+         follows emergency-reclaims its resident enclave before the
+         quarantine event appears *)
+      condemn st ~core
+  | Event.Core_quarantined { core; _ } ->
+      (* shootdown-timeout path: no machine-check event precedes it *)
+      condemn st ~core
   | Event.Enclave_destroyed { eid } -> (
       match Hashtbl.find_opt st.alive eid with
       | None ->
@@ -120,11 +152,14 @@ let check events =
   let st =
     {
       alive = Hashtbl.create 8;
+      on_core = Hashtbl.create 8;
       pending_aex = Hashtbl.create 8;
       granted = Hashtbl.create 32;
       pending_mail = Hashtbl.create 8;
       out = [];
     }
   in
-  List.iter (fun (e : Event.t) -> step st ~seq:e.seq e.payload) events;
+  List.iter
+    (fun (e : Event.t) -> step st ~seq:e.seq ~core:e.core e.payload)
+    events;
   List.rev st.out

@@ -1,6 +1,12 @@
 module Hw = Sanctorum_hw
 module Tel = Sanctorum_telemetry
 
+(* The PR-3 fault engine carried its own splitmix64; it now lives in
+   lib/util, shared with the workload and fleet engines. The stream is
+   unchanged (known-answer-tested), so recorded fault schedules still
+   replay. *)
+module Rng = Sanctorum_util.Splitmix
+
 type action =
   | Flip of { paddr : int; bit : int }
   | Flip2 of { paddr : int; bit_a : int; bit_b : int }

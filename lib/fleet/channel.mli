@@ -1,0 +1,24 @@
+(** A blocking FIFO channel for cross-domain messaging — the fleet's
+    model of a machine-to-machine network link.
+
+    Many senders, many receivers, unbounded queue, mutex + condition
+    under the hood. The cluster gives every node a private inbox and a
+    private outbox and always drains outboxes in node-id order, so
+    message {e processing} order — and with it the whole control
+    plane — stays deterministic even though domains interleave
+    arbitrarily. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val send : 'a t -> 'a -> unit
+(** Never blocks (the queue is unbounded). *)
+
+val recv : 'a t -> 'a
+(** Blocks until a message is available. *)
+
+val try_recv : 'a t -> 'a option
+
+val length : 'a t -> int
+(** Messages currently queued (racy outside the sender/receiver). *)

@@ -1,0 +1,432 @@
+module C = Sanctorum_crypto
+module A = Sanctorum.Attestation
+module B = Sanctorum.Boot
+module Img = Sanctorum.Image
+module Tel = Sanctorum_telemetry
+module Wl = Sanctorum_workload
+module Rng = Sanctorum_util.Splitmix
+open Sanctorum_os
+
+type config = {
+  seed : string;
+  backend : Testbed.backend;
+  shards : int;
+  cores : int;
+  enclaves : int;
+  jobs : int;
+  target : int;
+  mix : Wl.Programs.mix;
+  policy : Policy.t;
+  retry_budget : int;
+  batch_rounds : int;
+  fuel : int;
+  quantum : int;
+  check_every : int;
+  faults : (int * Sanctorum_faults.Spec.t) list;
+  fault_horizon : int;
+  rogue : int list;
+}
+
+let default =
+  {
+    seed = "fleet";
+    backend = Testbed.Keystone_backend;
+    shards = 2;
+    cores = 4;
+    enclaves = 12;
+    jobs = 24;
+    target = 4;
+    mix = Wl.Programs.Compute;
+    policy = Policy.Round_robin;
+    retry_budget = 3;
+    batch_rounds = 600;
+    fuel = 2000;
+    quantum = 500;
+    check_every = 16;
+    faults = [];
+    fault_horizon = 200_000;
+    rogue = [];
+  }
+
+type shard_outcome = {
+  so_node : int;
+  so_joined : bool;
+  so_evicted : bool;
+  so_report : Wl.Workload.report;
+}
+
+type outcome = {
+  r_config_shards : int;
+  r_policy : Policy.t;
+  r_seed : string;
+  r_shards : shard_outcome list;
+  r_completed : int list;
+  r_failed_closed : (int * string) list;
+  r_generations : int;
+  r_wall_s : float;
+  r_instret : int;
+  r_ops : int;
+  r_mips : float;
+  r_ops_per_sec : float;
+  r_p50 : int;
+  r_p90 : int;
+  r_p99 : int;
+  r_findings : int;
+  r_accounted : bool;
+  r_clean : bool;
+  r_counters : (string * int) list;
+}
+
+let shard_seed cfg i = Printf.sprintf "%s/shard-%d" cfg.seed i
+
+let job_seed cfg jid =
+  Rng.next (Rng.of_string (Printf.sprintf "%s/job-%d" cfg.seed jid))
+
+(* Per-node control-plane bookkeeping. The channels are the only state
+   shared with the node's domain. *)
+type peer = {
+  p_id : int;
+  p_inbox : Node.to_node Channel.t;  (* cluster -> node *)
+  p_outbox : Node.from_node Channel.t;  (* node -> cluster *)
+  p_domain : unit Domain.t;
+  p_secret : C.Dh.secret;
+  p_pub_bytes : string;
+  p_nonce : string;
+  mutable p_key : string option;  (* Some = joined *)
+  mutable p_evicted : bool;
+}
+
+let validate cfg =
+  if cfg.shards < 1 then invalid_arg "Cluster.run: shards must be >= 1";
+  if cfg.cores < 1 then invalid_arg "Cluster.run: cores must be >= 1";
+  if cfg.jobs < 1 then invalid_arg "Cluster.run: jobs must be >= 1";
+  if cfg.target < 1 then invalid_arg "Cluster.run: target must be >= 1";
+  if cfg.retry_budget < 0 then
+    invalid_arg "Cluster.run: retry budget must be >= 0";
+  if cfg.batch_rounds < 1 then
+    invalid_arg "Cluster.run: batch_rounds must be >= 1";
+  let members = if cfg.mix = Wl.Programs.Ipc then 2 else 1 in
+  if cfg.enclaves < members then
+    invalid_arg "Cluster.run: enclave capacity below one job"
+
+let run cfg =
+  validate cfg;
+  let members_per_job = if cfg.mix = Wl.Programs.Ipc then 2 else 1 in
+  let batch_cap = max 1 (cfg.enclaves / members_per_job) in
+  let metrics = Tel.Metrics.create () in
+  let ctr n = Tel.Metrics.counter metrics ("fleet." ^ n) in
+  let c_placed = ctr "jobs.placed"
+  and c_migrated = ctr "jobs.migrated"
+  and c_retried = ctr "jobs.retried"
+  and c_joined = ctr "nodes.joined"
+  and c_evicted = ctr "nodes.evicted"
+  and c_verified = ctr "attest.verified"
+  and c_rejected = ctr "attest.rejected" in
+  let fleet_hist = Tel.Metrics.histogram metrics "fleet.quantum.cycles" in
+  let drbg = C.Drbg.create ~seed:(cfg.seed ^ "/cluster") in
+  let t0 = Unix.gettimeofday () in
+  (* -------------------------------------------------------------- *)
+  (* Spawn: one domain per shard, each with a private machine. A
+     shard's compute-bound stretches take a slot from this throttle,
+     so no more shards crunch at once than the host has cores — on a
+     wide machine it admits everyone. *)
+  let crunch = Throttle.create (Throttle.host_parallelism ()) in
+  let peers =
+    List.init cfg.shards (fun i ->
+        let node_cfg =
+          {
+            Node.node_id = i;
+            seed = shard_seed cfg i;
+            backend = cfg.backend;
+            cores = cfg.cores;
+            enclaves = cfg.enclaves;
+            mix = cfg.mix;
+            fuel = cfg.fuel;
+            quantum = cfg.quantum;
+            check_every = cfg.check_every;
+            batch_rounds = cfg.batch_rounds;
+            faults = List.assoc_opt i cfg.faults;
+            fault_horizon = cfg.fault_horizon;
+            rogue = List.mem i cfg.rogue;
+          }
+        in
+        let inbox = Channel.create () and outbox = Channel.create () in
+        let domain =
+          Domain.spawn (fun () ->
+              (* A minor collection is a stop-the-world sync across
+                 every running domain; on a host with fewer cores than
+                 shards those syncs serialize through the kernel
+                 scheduler and dominate the run. A large per-domain
+                 minor heap makes them rare (measured ~4.5x on an
+                 oversubscribed single-core host). *)
+              Gc.set { (Gc.get ()) with Gc.minor_heap_size = 1 lsl 20 };
+              Node.run ~throttle:crunch node_cfg ~inbox ~outbox)
+        in
+        let secret, public = C.Dh.generate drbg in
+        {
+          p_id = i;
+          p_inbox = inbox;
+          p_outbox = outbox;
+          p_domain = domain;
+          p_secret = secret;
+          p_pub_bytes = C.Dh.public_to_bytes public;
+          p_nonce = C.Drbg.random_bytes drbg 32;
+          p_key = None;
+          p_evicted = false;
+        })
+  in
+  (* -------------------------------------------------------------- *)
+  (* Join: challenge every node, verify evidence against a root the
+     cluster derives itself — never one the node supplied. *)
+  let expected_measurement = Img.measurement Node.agent_image in
+  List.iter
+    (fun p ->
+      Channel.send p.p_inbox
+        (Node.Challenge { nonce = p.p_nonce; cluster_pub = p.p_pub_bytes }))
+    peers;
+  List.iter
+    (fun p ->
+      match Channel.recv p.p_outbox with
+      | Node.Joined { jd_node = _; jd_evidence; jd_node_pub } -> (
+          let root =
+            C.Schnorr.public_key (B.manufacturer_root ~seed:(shard_seed cfg p.p_id))
+          in
+          let channel_binding =
+            C.Sha3.sha3_256 (jd_node_pub ^ p.p_pub_bytes)
+          in
+          match
+            ( A.verify_evidence ~root ~expected_measurement ~nonce:p.p_nonce
+                ~channel_binding jd_evidence,
+              C.Dh.public_of_bytes jd_node_pub )
+          with
+          | Ok (), Ok node_public ->
+              Tel.Metrics.incr c_verified;
+              Tel.Metrics.incr c_joined;
+              p.p_key <- Some (C.Dh.shared_key p.p_secret node_public)
+          | _ -> Tel.Metrics.incr c_rejected)
+      | Node.Join_failed _ -> Tel.Metrics.incr c_rejected
+      | Node.Batch_done _ | Node.Batch_rejected _ | Node.Final _ ->
+          Tel.Metrics.incr c_rejected)
+    peers;
+  (* -------------------------------------------------------------- *)
+  (* Generations: place, dispatch under MAC, fold results, re-place. *)
+  let policy_state =
+    Policy.create cfg.policy ~nodes:cfg.shards
+      ~seed:(Rng.next (Rng.of_string (cfg.seed ^ "/policy")))
+  in
+  let retries = Array.make cfg.jobs 0 in
+  let pending = ref (List.init cfg.jobs Fun.id) in
+  let completed = ref [] in
+  let failed_closed = ref [] in
+  let generations = ref 0 in
+  (* Each generation either completes a job, burns a retry, or evicts a
+     node, so this bound is unreachable without a livelock bug. *)
+  let generation_cap = (cfg.jobs * (cfg.retry_budget + 2)) + cfg.shards + 8 in
+  let fail_closed jid reason =
+    failed_closed := (jid, reason) :: !failed_closed
+  in
+  let replace counter jid reason =
+    Tel.Metrics.incr counter;
+    retries.(jid) <- retries.(jid) + 1;
+    if retries.(jid) > cfg.retry_budget then
+      fail_closed jid (Printf.sprintf "retry budget exhausted (%s)" reason)
+    else pending := !pending @ [ jid ]
+  in
+  let evict p =
+    if not p.p_evicted then begin
+      p.p_evicted <- true;
+      Tel.Metrics.incr c_evicted
+    end
+  in
+  while !pending <> [] && !generations < generation_cap do
+    incr generations;
+    let gen = !generations in
+    let active p = p.p_key <> None && not p.p_evicted in
+    if not (List.exists active peers) then begin
+      (* no shard left to run anything: fail the remainder closed *)
+      List.iter (fun jid -> fail_closed jid "no eligible shard") !pending;
+      pending := []
+    end
+    else begin
+      let room = Array.make cfg.shards batch_cap in
+      let batches = Array.make cfg.shards [] in
+      let unplaced = ref [] in
+      List.iter
+        (fun jid ->
+          let eligible =
+            List.filter_map
+              (fun p ->
+                if active p && room.(p.p_id) > 0 then Some p.p_id else None)
+              peers
+          in
+          match Policy.place policy_state ~jid ~eligible with
+          | None -> unplaced := jid :: !unplaced (* capacity backlog *)
+          | Some n ->
+              room.(n) <- room.(n) - 1;
+              Tel.Metrics.incr c_placed;
+              batches.(n) <-
+                batches.(n)
+                @ [
+                    {
+                      Node.js_jid = jid;
+                      js_seed = job_seed cfg jid;
+                      js_target = cfg.target;
+                    };
+                  ])
+        !pending;
+      pending := List.rev !unplaced;
+      let dispatched =
+        List.filter (fun p -> batches.(p.p_id) <> []) peers
+      in
+      List.iter
+        (fun p ->
+          let jobs = batches.(p.p_id) in
+          let key = Option.get p.p_key in
+          let tag = C.Hmac.mac ~key (Node.batch_bytes ~gen jobs) in
+          Channel.send p.p_inbox (Node.Batch { gen; jobs; tag }))
+        dispatched;
+      List.iter
+        (fun p ->
+          match Channel.recv p.p_outbox with
+          | Node.Batch_done
+              { bd_completed; bd_failed; bd_unfinished; bd_healthy; _ } ->
+              completed := !completed @ bd_completed;
+              List.iter
+                (fun (jid, reason) -> replace c_retried jid reason)
+                bd_failed;
+              List.iter
+                (fun jid -> replace c_migrated jid "migrated off shard")
+                bd_unfinished;
+              if not bd_healthy then evict p
+          | Node.Batch_rejected { br_reason; _ } ->
+              (* the channel broke: every job of the batch comes back *)
+              List.iter
+                (fun (j : Node.job_spec) ->
+                  replace c_retried j.Node.js_jid br_reason)
+                batches.(p.p_id);
+              evict p
+          | Node.Joined _ | Node.Join_failed _ | Node.Final _ -> evict p)
+        dispatched
+    end
+  done;
+  List.iter (fun jid -> fail_closed jid "generation cap") !pending;
+  pending := [];
+  (* -------------------------------------------------------------- *)
+  (* Teardown: every spawned node reports and its domain is joined. *)
+  let finals =
+    List.map
+      (fun p ->
+        Channel.send p.p_inbox Node.Finish;
+        let rec await () =
+          match Channel.recv p.p_outbox with
+          | Node.Final { fn_report; fn_hist; _ } -> (fn_report, fn_hist)
+          | _ -> await ()
+        in
+        let r = await () in
+        Domain.join p.p_domain;
+        r)
+      peers
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let shards =
+    List.map2
+      (fun p (report, _) ->
+        {
+          so_node = p.p_id;
+          so_joined = p.p_key <> None;
+          so_evicted = p.p_evicted;
+          so_report = report;
+        })
+      peers finals
+  in
+  List.iter (fun (_, h) -> Tel.Metrics.merge ~into:fleet_hist h) finals;
+  let sum f = List.fold_left (fun acc s -> acc + f s.so_report) 0 shards in
+  let instret = sum (fun r -> r.Wl.Workload.rp_instret) in
+  let ops =
+    sum (fun r ->
+        r.Wl.Workload.rp_installs + r.Wl.Workload.rp_reclaims
+        + r.Wl.Workload.rp_exits)
+  in
+  let findings =
+    sum (fun r -> List.length r.Wl.Workload.rp_findings)
+  in
+  let completed = List.sort_uniq compare !completed in
+  let failed_closed =
+    List.sort (fun (a, _) (b, _) -> compare a b) !failed_closed
+  in
+  let accounted =
+    List.length completed + List.length failed_closed = cfg.jobs
+    && List.sort compare (completed @ List.map fst failed_closed)
+       = List.init cfg.jobs Fun.id
+  in
+  let shard_clean s =
+    let r = s.so_report in
+    r.Wl.Workload.rp_reclaimed && r.Wl.Workload.rp_drained
+    && r.Wl.Workload.rp_trace_dropped = 0
+    && r.Wl.Workload.rp_msgs_accounted
+  in
+  let clean =
+    findings = 0 && accounted
+    && List.for_all
+         (fun s -> s.so_evicted || (not s.so_joined) || shard_clean s)
+         shards
+  in
+  let rate v = if wall_s > 0. then float_of_int v /. wall_s else 0. in
+  {
+    r_config_shards = cfg.shards;
+    r_policy = cfg.policy;
+    r_seed = cfg.seed;
+    r_shards = shards;
+    r_completed = completed;
+    r_failed_closed = failed_closed;
+    r_generations = !generations;
+    r_wall_s = wall_s;
+    r_instret = instret;
+    r_ops = ops;
+    r_mips = rate instret /. 1e6;
+    r_ops_per_sec = rate ops;
+    r_p50 = Tel.Metrics.percentile fleet_hist 0.5;
+    r_p90 = Tel.Metrics.percentile fleet_hist 0.9;
+    r_p99 = Tel.Metrics.percentile fleet_hist 0.99;
+    r_findings = findings;
+    r_accounted = accounted;
+    r_clean = clean;
+    r_counters =
+      List.filter_map
+        (fun (n, i) ->
+          match i with
+          | Tel.Metrics.Counter c -> Some (n, Tel.Metrics.value c)
+          | Tel.Metrics.Histogram _ -> None)
+        (Tel.Metrics.to_list metrics);
+  }
+
+let pp_outcome fmt r =
+  Format.fprintf fmt
+    "@[<v>fleet: seed=%S shards=%d policy=%s@,\
+     jobs     : completed=%d failed-closed=%d generations=%d accounted=%b@,\
+     rates    : wall=%.3fs aggregate-mips=%.2f enclave-ops/s=%.1f@,\
+     latency  : fleet per-quantum sim cycles p50<=%d p90<=%d p99<=%d@,\
+     health   : findings=%d clean=%b@,\
+     counters : %a@,\
+     shards   :%a@]"
+    r.r_seed r.r_config_shards (Policy.name r.r_policy)
+    (List.length r.r_completed)
+    (List.length r.r_failed_closed)
+    r.r_generations r.r_accounted r.r_wall_s r.r_mips r.r_ops_per_sec r.r_p50
+    r.r_p90 r.r_p99 r.r_findings r.r_clean
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt " ")
+       (fun fmt (n, v) -> Format.fprintf fmt "%s=%d" n v))
+    r.r_counters
+    (fun fmt shards ->
+      List.iter
+        (fun s ->
+          Format.fprintf fmt
+            "@,  node %d: joined=%b evicted=%b installs=%d exits=%d \
+             reclaimed=%b findings=%d"
+            s.so_node s.so_joined s.so_evicted
+            s.so_report.Wl.Workload.rp_installs s.so_report.Wl.Workload.rp_exits
+            s.so_report.Wl.Workload.rp_reclaimed
+            (List.length s.so_report.Wl.Workload.rp_findings))
+        shards)
+    r.r_shards

@@ -1,0 +1,108 @@
+(** The fleet control plane: N shard {!Node}s, one OCaml domain each,
+    sharing no mutable state, under a seeded load balancer and an
+    attested join protocol.
+
+    Life of a run:
+
+    + spawn one domain per shard; each boots a private machine from
+      its shard-qualified seed;
+    + challenge every node with a fresh nonce and DH key; verify the
+      returned evidence against the {e independently derived}
+      manufacturer root and the agent measurement the cluster computes
+      itself — a node that fails verification never receives a job;
+    + place jobs generation by generation via the {!Policy}, capped by
+      each shard's enclave capacity, and ship each batch under an HMAC
+      keyed by that node's DH session key;
+    + after each generation, fold in completions, re-place failed jobs
+      (bounded per-job retry budget) and jobs left in flight by a
+      quarantined shard — that shard is evicted first, reusing the
+      fail-closed machinery of [lib/faults];
+    + when every job is completed or failed closed, collect final
+      per-shard reports and latency histograms, merge them
+      ({!Sanctorum_telemetry.Metrics.merge}) into fleet percentiles
+      and aggregate rates.
+
+    Every decision above is a pure function of the config — the wall
+    clock only converts simulated totals into rates — so per-shard
+    reports are bit-deterministic and the completed / failed-closed
+    partition replays exactly. *)
+
+type config = {
+  seed : string;
+  backend : Sanctorum_os.Testbed.backend;
+  shards : int;  (** one OCaml domain each *)
+  cores : int;  (** simulated cores per shard *)
+  enclaves : int;  (** per-shard capacity (PMP sizing + batch cap) *)
+  jobs : int;  (** total jobs across the fleet *)
+  target : int;  (** exits per job member before it completes *)
+  mix : Sanctorum_workload.Programs.mix;
+  policy : Policy.t;
+  retry_budget : int;
+      (** re-placements (migrations and retries) allowed per job before
+          it is failed closed *)
+  batch_rounds : int;  (** per-shard round cap per generation *)
+  fuel : int;
+  quantum : int;
+  check_every : int;
+  faults : (int * Sanctorum_faults.Spec.t) list;
+      (** per-shard fault specs, armed before any job runs *)
+  fault_horizon : int;
+  rogue : int list;  (** shards presenting corrupted evidence *)
+}
+
+val default : config
+(** keystone backend, 2 shards x 4 cores, 24 jobs (capacity 12) of the
+    compute mix at target 4, round-robin, retry budget 3. *)
+
+type shard_outcome = {
+  so_node : int;
+  so_joined : bool;  (** evidence verified; eligible for jobs *)
+  so_evicted : bool;  (** quarantined mid-run and removed *)
+  so_report : Sanctorum_workload.Workload.report;
+}
+
+type outcome = {
+  r_config_shards : int;
+  r_policy : Policy.t;
+  r_seed : string;
+  r_shards : shard_outcome list;  (** ascending node id *)
+  r_completed : int list;  (** ascending jid *)
+  r_failed_closed : (int * string) list;  (** ascending jid, with reason *)
+  r_generations : int;
+  r_wall_s : float;  (** host wall clock, spawn to last Final *)
+  r_instret : int;  (** simulated instructions, all shards *)
+  r_ops : int;  (** installs + reclaims + exits, all shards *)
+  r_mips : float;  (** aggregate: instret / wall *)
+  r_ops_per_sec : float;  (** aggregate: ops / wall *)
+  r_p50 : int;  (** fleet-level per-quantum latency percentiles, *)
+  r_p90 : int;  (** from the merged per-shard histograms *)
+  r_p99 : int;
+  r_findings : int;  (** invariant/trace violations across all shards *)
+  r_accounted : bool;
+      (** [completed + failed_closed] partitions the job set exactly *)
+  r_clean : bool;
+      (** no findings anywhere, every job accounted, and every
+          non-evicted joined shard drained + fully reclaimed with its
+          mailbox traffic accounted *)
+  r_counters : (string * int) list;
+      (** the [fleet.*] telemetry counters, sorted by name:
+          [fleet.jobs.placed/migrated/retried],
+          [fleet.nodes.joined/evicted],
+          [fleet.attest.verified/rejected] *)
+}
+
+val shard_seed : config -> int -> string
+(** The seed shard [i] boots from — [seed ^ "/shard-i"]. The cluster
+    uses it to derive the manufacturer root it verifies evidence
+    against, independently of anything the node sends. *)
+
+val job_seed : config -> int -> int64
+(** The splitmix seed of job [jid]'s private stream — identical
+    wherever the job lands, so migrated jobs replay their images. *)
+
+val run : config -> outcome
+(** Raises [Invalid_argument] on a nonsensical config (no shards, no
+    jobs, ipc capacity below one pair...). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** Multi-line human-readable summary. *)

@@ -1,0 +1,291 @@
+module Hw = Sanctorum_hw
+module C = Sanctorum_crypto
+module S = Sanctorum.Sm
+module A = Sanctorum.Attestation
+module Img = Sanctorum.Image
+module Tel = Sanctorum_telemetry
+module Wl = Sanctorum_workload
+module Engine = Sanctorum_workload.Engine
+open Sanctorum_os
+
+type job_spec = { js_jid : int; js_seed : int64; js_target : int }
+
+type to_node =
+  | Challenge of { nonce : string; cluster_pub : string }
+  | Batch of { gen : int; jobs : job_spec list; tag : string }
+  | Finish
+
+type from_node =
+  | Joined of {
+      jd_node : int;
+      jd_evidence : A.evidence;
+      jd_node_pub : string;
+    }
+  | Join_failed of { jf_node : int; jf_reason : string }
+  | Batch_done of {
+      bd_node : int;
+      bd_gen : int;
+      bd_completed : int list;
+      bd_failed : (int * string) list;
+      bd_unfinished : int list;
+      bd_healthy : bool;
+    }
+  | Batch_rejected of { br_node : int; br_gen : int; br_reason : string }
+  | Final of {
+      fn_node : int;
+      fn_report : Wl.Workload.report;
+      fn_hist : Tel.Metrics.histogram;
+    }
+
+type config = {
+  node_id : int;
+  seed : string;
+  backend : Testbed.backend;
+  cores : int;
+  enclaves : int;
+  mix : Wl.Programs.mix;
+  fuel : int;
+  quantum : int;
+  check_every : int;
+  batch_rounds : int;
+  faults : Sanctorum_faults.Spec.t option;
+  fault_horizon : int;
+  rogue : bool;
+}
+
+let agent_image =
+  Img.of_program ~evbase:0x30000 Hw.Isa.[ Op_imm (Add, a7, zero, 1); Ecall ]
+
+let batch_bytes ~gen jobs =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (Printf.sprintf "gen=%d" gen);
+  List.iter
+    (fun j ->
+      Buffer.add_string b
+        (Printf.sprintf ";%d:%Lx:%d" j.js_jid j.js_seed j.js_target))
+    jobs;
+  Buffer.contents b
+
+(* A rogue machine holds no monitor attestation key, so the best it can
+   do is present evidence whose signature does not verify — modelled by
+   corrupting one signature bit of otherwise honest evidence. *)
+let corrupt_signature (e : A.evidence) =
+  {
+    e with
+    A.signature =
+      String.mapi
+        (fun i c -> if i = 0 then Char.chr (Char.code c lxor 1) else c)
+        e.A.signature;
+  }
+
+type session = {
+  eng : Engine.t;
+  mutable es_eid : int option;
+  mutable agent_eid : int option;
+  mutable key : string option;  (* DH session key once joined *)
+}
+
+(* The attestation enclaves exist for the join handshake only. Keeping
+   them resident would tax every later context switch — the keystone
+   backend walks the live-enclave set on each one — so the node returns
+   their memory as soon as the challenge is answered. *)
+let retire_attestation sess =
+  let tb = Engine.testbed sess.eng in
+  let reclaim = function
+    | None -> ()
+    | Some eid ->
+        ignore
+          (Os.retry_transient (fun () -> Os.reclaim_enclave tb.Testbed.os ~eid))
+  in
+  reclaim sess.es_eid;
+  reclaim sess.agent_eid;
+  sess.es_eid <- None;
+  sess.agent_eid <- None
+
+let join cfg sess ~nonce ~cluster_pub =
+  let tb = Engine.testbed sess.eng in
+  let sm = tb.Testbed.sm in
+  match (sess.agent_eid, sess.es_eid, C.Dh.public_of_bytes cluster_pub) with
+  | None, _, _ | _, None, _ -> Error "attestation enclaves retired"
+  | _, _, Error m -> Error ("bad cluster key: " ^ m)
+  | Some agent_eid, Some es_eid, Ok cluster_public -> (
+      let secret, public = C.Dh.generate tb.Testbed.rng in
+      let node_pub = C.Dh.public_to_bytes public in
+      (* enclave key first, verifier key second — the same transcript
+         order [run_remote_attestation] pins *)
+      let channel_binding = C.Sha3.sha3_256 (node_pub ^ cluster_pub) in
+      match
+        A.request_attestation sm ~eid:agent_eid ~es_eid ~nonce ~channel_binding
+      with
+      | Error e -> Error (Sanctorum.Api_error.to_string e)
+      | Ok evidence ->
+          let evidence =
+            if cfg.rogue then corrupt_signature evidence else evidence
+          in
+          sess.key <- Some (C.Dh.shared_key secret cluster_public);
+          Ok (evidence, node_pub))
+
+(* Run one authenticated batch to completion: submit every job, step
+   until they have all settled, the round cap hits, or a core of this
+   shard is quarantined. Jobs still in flight at the end are aborted
+   and reported unfinished so the cluster can re-place them — the
+   quarantine-driven migration path. *)
+let run_batch cfg sess ~gen ~jobs =
+  let eng = sess.eng in
+  let completed = ref [] and failed = ref [] in
+  let submitted =
+    List.filter
+      (fun j ->
+        try
+          Engine.submit eng ~jid:j.js_jid ~seed:j.js_seed
+            ~target:(Some j.js_target);
+          true
+        with Failure m ->
+          failed := (j.js_jid, m) :: !failed;
+          false)
+      jobs
+  in
+  let remaining = ref (List.map (fun j -> j.js_jid) submitted) in
+  let rounds = ref 0 in
+  while !remaining <> [] && !rounds < cfg.batch_rounds && Engine.healthy eng do
+    let done_now = Engine.step eng in
+    let failed_now = Engine.take_failed eng in
+    remaining :=
+      List.filter
+        (fun j ->
+          (not (List.mem j done_now))
+          && not (List.mem_assoc j failed_now))
+        !remaining;
+    completed := !completed @ done_now;
+    failed := !failed @ failed_now;
+    incr rounds
+  done;
+  let unfinished = !remaining in
+  let reason =
+    if not (Engine.healthy eng) then "shard quarantined"
+    else "batch round cap"
+  in
+  List.iter (fun jid -> Engine.abort eng ~jid ~reason) unfinished;
+  (* drain the abort notifications so they don't masquerade as genuine
+     failures of a later batch *)
+  ignore (Engine.take_failed eng);
+  Batch_done
+    {
+      bd_node = cfg.node_id;
+      bd_gen = gen;
+      bd_completed = !completed;
+      bd_failed = !failed;
+      bd_unfinished = unfinished;
+      bd_healthy = Engine.healthy eng;
+    }
+
+let finish cfg sess =
+  let eng = sess.eng in
+  (* normally retired at join time; covers a node that never saw a
+     challenge *)
+  retire_attestation sess;
+  let report = Engine.finish eng in
+  Final
+    {
+      fn_node = cfg.node_id;
+      fn_report = report;
+      fn_hist = Engine.latency_histogram eng;
+    }
+
+let run ?throttle cfg ~inbox ~outbox =
+  (* Slots guard only the compute-bound stretches (engine boot and
+     batch crunching), never a channel wait — a node holding a slot
+     always runs to the next protocol message without blocking. *)
+  let crunching f =
+    match throttle with Some th -> Throttle.with_slot th f | None -> f ()
+  in
+  let sess =
+    crunching (fun () ->
+        let eng =
+          Engine.create
+            {
+              Engine.seed = cfg.seed;
+              backend = cfg.backend;
+              cores = cfg.cores;
+              enclaves = cfg.enclaves;
+              rounds = cfg.batch_rounds;
+              mix = cfg.mix;
+              fuel = cfg.fuel;
+              quantum = cfg.quantum;
+              check_every = cfg.check_every;
+            }
+        in
+        let tb = Engine.testbed eng in
+        (match cfg.faults with
+        | None -> ()
+        | Some spec ->
+            let inj =
+              Sanctorum_faults.Injector.create ~horizon:cfg.fault_horizon
+                ~machine:tb.Testbed.machine
+                ~seed:(Sanctorum_util.Splitmix.next
+                         (Sanctorum_util.Splitmix.of_string
+                            (cfg.seed ^ "/faults")))
+                ~spec ()
+            in
+            Sanctorum_faults.Injector.arm inj);
+        let es =
+          match Testbed.install_signing_enclave tb with
+          | Ok inst -> inst.Os.eid
+          | Error e ->
+              failwith
+                ("fleet node: signing enclave: "
+                ^ Sanctorum.Api_error.to_string e)
+        in
+        let agent =
+          match Os.install_enclave tb.Testbed.os agent_image with
+          | Ok inst -> inst.Os.eid
+          | Error e ->
+              failwith
+                ("fleet node: agent enclave: "
+                ^ Sanctorum.Api_error.to_string e)
+        in
+        { eng; es_eid = Some es; agent_eid = Some agent; key = None })
+  in
+  let running = ref true in
+  while !running do
+    match Channel.recv inbox with
+    | Challenge { nonce; cluster_pub } ->
+        (match join cfg sess ~nonce ~cluster_pub with
+        | Ok (evidence, node_pub) ->
+            Channel.send outbox
+              (Joined
+                 {
+                   jd_node = cfg.node_id;
+                   jd_evidence = evidence;
+                   jd_node_pub = node_pub;
+                 })
+        | Error reason ->
+            Channel.send outbox
+              (Join_failed { jf_node = cfg.node_id; jf_reason = reason }));
+        retire_attestation sess
+    | Batch { gen; jobs; tag } -> (
+        match sess.key with
+        | None ->
+            Channel.send outbox
+              (Batch_rejected
+                 { br_node = cfg.node_id; br_gen = gen; br_reason = "not joined" })
+        | Some key ->
+            if
+              not
+                (Sanctorum_crypto.Hmac.verify ~key
+                   ~msg:(batch_bytes ~gen jobs) ~tag)
+            then
+              Channel.send outbox
+                (Batch_rejected
+                   {
+                     br_node = cfg.node_id;
+                     br_gen = gen;
+                     br_reason = "batch MAC mismatch";
+                   })
+            else
+              Channel.send outbox
+                (crunching (fun () -> run_batch cfg sess ~gen ~jobs)))
+    | Finish ->
+        running := false;
+        Channel.send outbox (finish cfg sess)
+  done

@@ -1,0 +1,101 @@
+(** One fleet node: a complete, independent [Machine]+SM+OS shard
+    wrapped in a {!Sanctorum_workload.Engine}, running in its own
+    domain and speaking the cluster protocol over two {!Channel}s.
+
+    Nothing mutable is shared with any other shard — each node boots
+    its own simulated machine from its own seed — so the only
+    cross-domain traffic is the message protocol below, and every
+    shard's architectural behaviour is a pure function of
+    [(seed, shard-id, placed jobs)].
+
+    {b Join protocol} (paper Fig. 7, with the cluster as the trusted
+    first party): the cluster sends a nonce and its DH public key; the
+    node installs the canonical signing enclave E_S and a fixed agent
+    enclave on its own monitor, obtains signed evidence over
+    (nonce, channel binding, agent measurement), and replies with the
+    evidence and its own DH public key. Only if the cluster verifies
+    the evidence against the {e independently derived} manufacturer
+    root does the node receive jobs — and every job batch is
+    authenticated with an HMAC under the DH session key, which the
+    node checks before running anything. *)
+
+type job_spec = {
+  js_jid : int;
+  js_seed : int64;  (** seeds the job's private splitmix stream *)
+  js_target : int;  (** exits per member before the job completes *)
+}
+
+type to_node =
+  | Challenge of { nonce : string; cluster_pub : string }
+  | Batch of { gen : int; jobs : job_spec list; tag : string }
+      (** [tag] = HMAC over {!batch_bytes} under the session key *)
+  | Finish
+
+type from_node =
+  | Joined of {
+      jd_node : int;
+      jd_evidence : Sanctorum.Attestation.evidence;
+      jd_node_pub : string;
+    }
+  | Join_failed of { jf_node : int; jf_reason : string }
+  | Batch_done of {
+      bd_node : int;
+      bd_gen : int;
+      bd_completed : int list;
+      bd_failed : (int * string) list;
+          (** jobs that failed on this shard (fault, kill, API errors) *)
+      bd_unfinished : int list;
+          (** jobs aborted still-running — quarantine or round cap —
+              for the cluster to re-place *)
+      bd_healthy : bool;  (** no core quarantined *)
+    }
+  | Batch_rejected of { br_node : int; br_gen : int; br_reason : string }
+  | Final of {
+      fn_node : int;
+      fn_report : Sanctorum_workload.Workload.report;
+      fn_hist : Sanctorum_telemetry.Metrics.histogram;
+    }
+
+type config = {
+  node_id : int;
+  seed : string;  (** this shard's seed (already shard-qualified) *)
+  backend : Sanctorum_os.Testbed.backend;
+  cores : int;
+  enclaves : int;  (** capacity — sizes the shard's PMP *)
+  mix : Sanctorum_workload.Programs.mix;
+  fuel : int;
+  quantum : int;
+  check_every : int;
+  batch_rounds : int;
+      (** per-batch round cap; jobs still in flight at the cap are
+          aborted and reported unfinished *)
+  faults : Sanctorum_faults.Spec.t option;
+      (** armed on this shard's machine before any job runs *)
+  fault_horizon : int;  (** cycle window the fault schedule is drawn in *)
+  rogue : bool;
+      (** present evidence with a corrupted signature — a node
+          impersonating a genuine Sanctorum machine *)
+}
+
+val agent_image : Sanctorum.Image.t
+(** The enclave every node attests at join time. The cluster computes
+    [Image.measurement agent_image] on its own — the expected value
+    never travels over the wire. *)
+
+val batch_bytes : gen:int -> job_spec list -> string
+(** The byte string both sides MAC: generation number and every job
+    field. *)
+
+val run :
+  ?throttle:Throttle.t ->
+  config ->
+  inbox:to_node Channel.t ->
+  outbox:from_node Channel.t ->
+  unit
+(** The domain body: boot, join, serve batches until [Finish], then
+    tear down and send [Final]. Never raises — a protocol-fatal error
+    surfaces as [Join_failed] and an idle wait for [Finish].
+
+    When [throttle] is given, engine boot and batch crunching each take
+    a slot, bounding how many shards compute at once (see
+    {!Throttle}); protocol waits never hold a slot. *)

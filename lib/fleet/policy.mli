@@ -1,0 +1,33 @@
+(** Seeded, deterministic job-placement policies.
+
+    The control plane consults the policy once per (job, generation);
+    every decision is a pure function of the policy, the seed, and the
+    sequence of placements so far — never of timing — so a fleet run
+    replays identically. *)
+
+type t =
+  | Round_robin  (** cycle through nodes, skipping ineligible ones *)
+  | Least_loaded
+      (** fewest jobs assigned so far; ties go to the lowest node id *)
+  | Affinity
+      (** each job hashes (with the seed) to a home node and sticks to
+          it; if the home is ineligible, probe upward to the next
+          eligible node — deterministic fail-over *)
+
+val name : t -> string
+
+val of_string : string -> (t, string) result
+(** Accepts ["round-robin"], ["least-loaded"], ["affinity"]. *)
+
+val all : t list
+
+type state
+
+val create : t -> nodes:int -> seed:int64 -> state
+
+val place : state -> jid:int -> eligible:int list -> int option
+(** Choose a node for [jid] among [eligible] (sorted ascending) and
+    record the assignment. [None] iff [eligible] is empty. *)
+
+val load : state -> int -> int
+(** Jobs assigned to a node so far, across all generations. *)

@@ -1,0 +1,20 @@
+type t = { mu : Mutex.t; cv : Condition.t; mutable free : int }
+
+let create slots =
+  if slots < 1 then invalid_arg "Throttle.create: slots must be >= 1";
+  { mu = Mutex.create (); cv = Condition.create (); free = slots }
+
+let host_parallelism () = max 1 (Domain.recommended_domain_count ())
+
+let with_slot t f =
+  Mutex.lock t.mu;
+  while t.free = 0 do
+    Condition.wait t.cv t.mu
+  done;
+  t.free <- t.free - 1;
+  Mutex.unlock t.mu;
+  Fun.protect f ~finally:(fun () ->
+      Mutex.lock t.mu;
+      t.free <- t.free + 1;
+      Condition.signal t.cv;
+      Mutex.unlock t.mu)

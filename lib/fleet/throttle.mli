@@ -1,0 +1,26 @@
+(** A counting semaphore bounding how many shards crunch batches at
+    once.
+
+    Spawning more compute-bound domains than the host has cores is
+    pure overhead in OCaml 5: every minor collection is a
+    stop-the-world synchronisation across all running domains, and on
+    an oversubscribed host those barriers serialize through the kernel
+    scheduler (measured up to 19x on a single-core container). The
+    cluster therefore sizes one of these to {!host_parallelism} and
+    nodes take a slot only for the compute-bound part of a batch —
+    never while blocked on a channel — so on a machine with at least
+    as many cores as shards the throttle admits everyone and costs two
+    uncontended mutex operations per batch. *)
+
+type t
+
+val create : int -> t
+(** [create slots] admits at most [slots] concurrent holders.
+    @raise Invalid_argument if [slots < 1]. *)
+
+val host_parallelism : unit -> int
+(** [max 1 (Domain.recommended_domain_count ())]. *)
+
+val with_slot : t -> (unit -> 'a) -> 'a
+(** [with_slot t f] blocks until a slot is free, runs [f], and
+    releases the slot even if [f] raises. *)

@@ -1,8 +1,12 @@
 type counter = { c_name : string; mutable v : int }
 
-(* Power-of-two buckets: bucket i counts samples in [2^i, 2^(i+1)),
-   bucket 0 also absorbs 0. Enough resolution for cycle latencies. *)
-let bucket_count = 62
+(* Log-linear buckets (the HdrHistogram shape): values 0..7 get exact
+   buckets; above that, each power-of-two octave is split into 4 linear
+   sub-buckets, so a bucket's upper bound is at most 25% above any
+   sample it holds. The plain power-of-two scheme this replaces
+   collapsed all samples within one octave — p50/p90/p99 of a latency
+   stream concentrated around one value were indistinguishable. *)
+let bucket_count = 8 + (4 * 60)
 
 type histogram = {
   h_name : string;
@@ -55,8 +59,22 @@ let add c n = c.v <- c.v + n
 let value c = c.v
 
 let bucket_of v =
-  let rec go i x = if x <= 1 then i else go (i + 1) (x lsr 1) in
-  min (bucket_count - 1) (go 0 v)
+  if v < 8 then v
+  else begin
+    let rec msb_of i x = if x <= 1 then i else msb_of (i + 1) (x lsr 1) in
+    let msb = msb_of 0 v in
+    let sub = (v lsr (msb - 2)) land 3 in
+    min (bucket_count - 1) (8 + ((msb - 3) * 4) + sub)
+  end
+
+(* Inclusive upper bound of bucket [b] — what [percentile] reports. *)
+let bucket_upper b =
+  if b < 8 then b
+  else begin
+    let msb = 3 + ((b - 8) / 4) in
+    let sub = (b - 8) mod 4 in
+    if msb >= 60 then max_int else ((5 + sub) lsl (msb - 2)) - 1
+  end
 
 let observe h sample =
   let sample = max 0 sample in
@@ -67,10 +85,10 @@ let observe h sample =
   let b = bucket_of sample in
   h.buckets.(b) <- h.buckets.(b) + 1
 
-(* Percentiles resolve to the power-of-two buckets: walk to the bucket
+(* Percentiles resolve to the log-linear buckets: walk to the bucket
    holding the q-th sample and report its upper bound, clamped to the
-   observed maximum. Coarse, but monotone and cheap — good enough for
-   latency reporting. *)
+   observed maximum. An upper bound within 25%, monotone and cheap —
+   good enough for latency reporting. *)
 let percentile h q =
   if h.hcount = 0 then 0
   else begin
@@ -80,11 +98,18 @@ let percentile h q =
       if b >= bucket_count then h.hmax
       else begin
         let seen = seen + h.buckets.(b) in
-        if seen >= rank then min h.hmax ((1 lsl (b + 1)) - 1) else go (b + 1) seen
+        if seen >= rank then min h.hmax (bucket_upper b) else go (b + 1) seen
       end
     in
     go 0 0
   end
+
+let merge ~into src =
+  into.hcount <- into.hcount + src.hcount;
+  into.hsum <- into.hsum + src.hsum;
+  if src.hmin < into.hmin then into.hmin <- src.hmin;
+  if src.hmax > into.hmax then into.hmax <- src.hmax;
+  Array.iteri (fun b n -> into.buckets.(b) <- into.buckets.(b) + n) src.buckets
 
 let summary h =
   {

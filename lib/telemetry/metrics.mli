@@ -47,8 +47,15 @@ val summary : histogram -> summary
 
 val percentile : histogram -> float -> int
 (** [percentile h q] for [q] in [0, 1]: an upper bound on the value of
-    the [q]-th sample, resolved to the histogram's power-of-two buckets
-    and clamped to the observed maximum. [0] on an empty histogram. *)
+    the [q]-th sample, resolved to the histogram's log-linear buckets
+    (exact below 8; at most 25% above the true value elsewhere) and
+    clamped to the observed maximum. [0] on an empty histogram. *)
+
+val merge : into:histogram -> histogram -> unit
+(** Fold [src]'s samples into [into] — bucket-by-bucket, so percentiles
+    of the merged histogram are exactly those of the concatenated
+    streams. Used to aggregate per-shard latency histograms into
+    fleet-level percentiles. *)
 
 val name : item -> string
 val find : t -> string -> item option

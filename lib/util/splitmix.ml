@@ -1,9 +1,18 @@
-(* splitmix64 (Steele, Lea & Flood 2014): tiny, well-distributed, and
-   trivially reproducible — the engine's determinism rests on it. *)
-
 type t = { mutable state : int64 }
 
 let create ~seed = { state = seed }
+
+(* The same string fold the workload engine always used, so
+   string-seeded streams stay stable across the deduplication. *)
+let of_string seed =
+  let h = ref 0x9E3779B97F4A7C15L in
+  String.iter
+    (fun c ->
+      h := Int64.add (Int64.mul !h 0x100000001B3L) (Int64.of_int (Char.code c)))
+    seed;
+  { state = !h }
+
+let copy t = { state = t.state }
 
 let next t =
   t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
@@ -17,10 +26,10 @@ let next t =
   Int64.logxor z (Int64.shift_right_logical z 31)
 
 let int t ~bound =
-  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
   Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int) (Int64.of_int bound))
 
 let pick t xs =
   match xs with
-  | [] -> invalid_arg "Rng.pick: empty list"
+  | [] -> invalid_arg "Splitmix.pick: empty list"
   | _ -> List.nth xs (int t ~bound:(List.length xs))

@@ -1,0 +1,32 @@
+(** splitmix64 (Steele, Lea & Flood 2014): the one deterministic PRNG
+    shared by every engine that promises replayability — fault
+    schedules ({!Sanctorum_faults}), workload decisions
+    ({!Sanctorum_workload}) and fleet placement ({!Sanctorum_fleet}).
+
+    Deliberately {e not} [Stdlib.Random] and {e not} the monitor's
+    DRBG: the whole point is that the same seed always produces the
+    same stream, independent of anything else the process does, so
+    every failure reproduces from the seed printed in the log line.
+    The stream is pinned by a known-answer test; changing it silently
+    would re-shuffle every recorded schedule. *)
+
+type t
+
+val create : seed:int64 -> t
+
+val of_string : string -> t
+(** Fold a seed string into the initial state (FNV-style multiply
+    and add, starting from the splitmix64 gamma), so string-keyed
+    engines share the integer-keyed stream. *)
+
+val copy : t -> t
+(** An independent stream continuing from the same state. *)
+
+val next : t -> int64
+(** The next 64-bit output. *)
+
+val int : t -> bound:int -> int
+(** Uniform-ish in [[0, bound)]; [bound] must be positive. *)
+
+val pick : t -> 'a list -> 'a
+(** A uniform element of a non-empty list. *)

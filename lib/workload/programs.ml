@@ -1,0 +1,142 @@
+module Hw = Sanctorum_hw
+module S = Sanctorum.Sm
+
+type mix = Compute | Ipc | Paging | Churn
+
+let mix_name = function
+  | Compute -> "compute"
+  | Ipc -> "ipc"
+  | Paging -> "paging"
+  | Churn -> "churn"
+
+let mix_of_string = function
+  | "compute" -> Ok Compute
+  | "ipc" -> Ok Ipc
+  | "paging" -> Ok Paging
+  | "churn" -> Ok Churn
+  | s ->
+      Error
+        (Printf.sprintf "unknown mix %S (expected compute|ipc|paging|churn)" s)
+
+let all_mixes = [ Compute; Ipc; Paging; Churn ]
+
+let page = Hw.Phys_mem.page_size
+let evbase = 0x10000
+let shared_vaddr = 0x40000
+
+(* Re-entry after an AEX scrubs the register file and restarts at the
+   entry point (the monitor saves the interrupted context into thread
+   metadata for the *enclave* to recover, §V-C), so every worker keeps
+   its progress in enclave memory and restarts idempotently — the same
+   checkpoint idiom as the demo's counting enclave. *)
+
+(* Count to [iters] with the counter checkpointed in the data page;
+   reset it before exiting so a re-entered job does a full pass again.
+   The loop is position-independent, so the variable-length [li]
+   prologue cannot skew the branch offsets. *)
+let compute_program ~iters =
+  let open Hw.Isa in
+  li t0 (evbase + page)
+  @ [ Load (Ld, t1, t0, 0) ]
+  @ li t2 iters
+  @ [
+      Branch (Bge, t1, t2, 16);
+      Op_imm (Add, t1, t1, 1);
+      Store (Sd, t1, t0, 0);
+      Jal (zero, -12);
+      Store (Sd, zero, t0, 0);
+      Op_imm (Add, a7, zero, S.Ecall.exit_enclave);
+      Ecall;
+    ]
+
+(* Read the peer's eid from the shared window the OS filled in, accept
+   its mail exactly once (re-accepting would discard a deposited
+   message — an "accepted" flag in the data page survives re-entry),
+   then attempt one send and one receive and exit. No retry spins: a
+   failed attempt just means the peer has not progressed yet, and the
+   next dispatch of this job tries again. Each entry therefore fits in
+   a single quantum. Data page layout: 0 = outgoing message, 8 =
+   accepted flag, 16 = received count, 256 = incoming message, 512 =
+   sender measurement. *)
+let ipc_program () =
+  let open Hw.Isa in
+  li t0 shared_vaddr
+  @ [ Load (Ld, s1, t0, 0) ]
+  @ li s0 (evbase + page)
+  @ [
+      Load (Ld, t2, s0, 8);
+      Branch (Bne, t2, zero, 24);
+      mv a0 s1;
+      Op_imm (Add, a7, zero, S.Ecall.accept_mail);
+      Ecall;
+      Op_imm (Add, t2, zero, 1);
+      Store (Sd, t2, s0, 8);
+    ]
+  @ li t2 0x5a5a
+  @ [
+      Store (Sd, t2, s0, 0);
+      mv a0 s1;
+      mv a1 s0;
+      Op_imm (Add, a7, zero, S.Ecall.send_mail);
+      Ecall;
+      mv a0 s1;
+      Op_imm (Add, a1, s0, 256);
+      Op_imm (Add, a2, s0, 512);
+      Op_imm (Add, a7, zero, S.Ecall.get_mail);
+      Ecall;
+      Branch (Bne, a0, zero, 20);
+      Load (Ld, t2, s0, 16);
+      Op_imm (Add, t2, t2, 1);
+      Store (Sd, t2, s0, 16);
+      (* retrieval resets the mailbox grant to unaccepted, so force a
+         re-accept on the next entry *)
+      Store (Sd, zero, s0, 8);
+      Op_imm (Add, a7, zero, S.Ecall.exit_enclave);
+      Ecall;
+    ]
+
+(* Register a fault handler, then touch an unmapped page: the monitor
+   delivers the fault to the handler (never to the OS), which records
+   the faulting address and exits — enclave self-paging, §V-A. *)
+let paging_program ~k =
+  let open Hw.Isa in
+  let entry =
+    li a0 (evbase + 0x40)
+    @ [ Op_imm (Add, a7, zero, S.Ecall.set_fault_handler); Ecall ]
+    @ li t0 (0x18000 + (k * page))
+    @ [ Load (Ld, t1, t0, 0); j 0 ]
+  in
+  assert (List.length entry <= 16);
+  let entry = entry @ List.init (16 - List.length entry) (fun _ -> nop) in
+  let handler =
+    li t2 (evbase + page)
+    @ [
+        Store (Sd, a0, t2, 0);
+        Op_imm (Add, a7, zero, S.Ecall.exit_enclave);
+        Ecall;
+      ]
+  in
+  entry @ handler
+
+let build_image ~mix ~rng =
+  let next_int bound = Sanctorum_util.Splitmix.int rng ~bound in
+  match mix with
+  | Compute ->
+      Sanctorum.Image.of_program ~evbase
+        (compute_program ~iters:(200 + next_int 800))
+  | Churn ->
+      (* Short-lived, and crucially with no shared window: shared
+         windows pin OS staging memory forever, which a churn loop
+         would exhaust. *)
+      Sanctorum.Image.of_program ~evbase
+        (compute_program ~iters:(50 + next_int 150))
+  | Paging ->
+      Sanctorum.Image.of_program ~evbase (paging_program ~k:(next_int 4))
+  | Ipc ->
+      Sanctorum.Image.of_program ~evbase
+        ~shared:[ (shared_vaddr, page) ]
+        (ipc_program ())
+
+let le64 v =
+  String.init 8 (fun i ->
+      Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL)))

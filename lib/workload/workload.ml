@@ -1,31 +1,14 @@
-module Hw = Sanctorum_hw
-module Tel = Sanctorum_telemetry
-module An = Sanctorum_analysis
-module S = Sanctorum.Sm
-open Sanctorum_os
+module Rng = Sanctorum_util.Splitmix
 
-type mix = Compute | Ipc | Paging | Churn
+type mix = Programs.mix = Compute | Ipc | Paging | Churn
 
-let mix_name = function
-  | Compute -> "compute"
-  | Ipc -> "ipc"
-  | Paging -> "paging"
-  | Churn -> "churn"
+let mix_name = Programs.mix_name
+let mix_of_string = Programs.mix_of_string
+let all_mixes = Programs.all_mixes
 
-let mix_of_string = function
-  | "compute" -> Ok Compute
-  | "ipc" -> Ok Ipc
-  | "paging" -> Ok Paging
-  | "churn" -> Ok Churn
-  | s ->
-      Error
-        (Printf.sprintf "unknown mix %S (expected compute|ipc|paging|churn)" s)
-
-let all_mixes = [ Compute; Ipc; Paging; Churn ]
-
-type config = {
+type config = Engine.config = {
   seed : string;
-  backend : Testbed.backend;
+  backend : Sanctorum_os.Testbed.backend;
   cores : int;
   enclaves : int;
   rounds : int;
@@ -38,7 +21,7 @@ type config = {
 let default =
   {
     seed = "workload";
-    backend = Testbed.Keystone_backend;
+    backend = Sanctorum_os.Testbed.Keystone_backend;
     cores = 4;
     enclaves = 64;
     rounds = 1000;
@@ -48,7 +31,7 @@ let default =
     check_every = 16;
   }
 
-type report = {
+type report = Engine.report = {
   rp_mix : mix;
   rp_seed : string;
   rp_cores : int;
@@ -67,13 +50,15 @@ type report = {
   rp_sim_cycles : int;
   rp_msgs_sent : int;
   rp_msgs_received : int;
+  rp_msgs_inflight : int;
+  rp_msgs_accounted : bool;
   rp_wall_s : float;
   rp_mips : float;
   rp_ops_per_sec : float;
   rp_quantum_p50 : int;
   rp_quantum_p90 : int;
   rp_quantum_p99 : int;
-  rp_findings : An.Report.violation list;
+  rp_findings : Sanctorum_analysis.Report.violation list;
   rp_trace_dropped : int;
   rp_drained : bool;
   rp_free_units_boot : int;
@@ -81,160 +66,11 @@ type report = {
   rp_reclaimed : bool;
 }
 
-(* ------------------------------------------------------------------ *)
-(* Deterministic decisions: an inline splitmix64 stream keyed by the
-   seed string, so every install / churn / iteration-count choice is a
-   pure function of the config. *)
-
-type rng = { mutable st : int64 }
-
-let rng_of_seed seed =
-  let h = ref 0x9E3779B97F4A7C15L in
-  String.iter
-    (fun c ->
-      h := Int64.add (Int64.mul !h 0x100000001B3L) (Int64.of_int (Char.code c)))
-    seed;
-  { st = !h }
-
-let next rng =
-  rng.st <- Int64.add rng.st 0x9E3779B97F4A7C15L;
-  let z = rng.st in
-  let z =
-    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
-  in
-  let z =
-    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
-  in
-  Int64.logxor z (Int64.shift_right_logical z 31)
-
-let next_int rng bound =
-  Int64.to_int (Int64.rem (Int64.logand (next rng) Int64.max_int) (Int64.of_int bound))
-
-(* ------------------------------------------------------------------ *)
-(* Worker programs *)
-
-let page = Hw.Phys_mem.page_size
-let evbase = 0x10000
-let shared_vaddr = 0x40000
-
-(* Re-entry after an AEX scrubs the register file and restarts at the
-   entry point (the monitor saves the interrupted context into thread
-   metadata for the *enclave* to recover, §V-C), so every worker keeps
-   its progress in enclave memory and restarts idempotently — the same
-   checkpoint idiom as the demo's counting enclave. *)
-
-(* Count to [iters] with the counter checkpointed in the data page;
-   reset it before exiting so a re-entered job does a full pass again.
-   The loop is position-independent, so the variable-length [li]
-   prologue cannot skew the branch offsets. *)
-let compute_program ~iters =
-  let open Hw.Isa in
-  li t0 (evbase + page)
-  @ [ Load (Ld, t1, t0, 0) ]
-  @ li t2 iters
-  @ [
-      Branch (Bge, t1, t2, 16);
-      Op_imm (Add, t1, t1, 1);
-      Store (Sd, t1, t0, 0);
-      Jal (zero, -12);
-      Store (Sd, zero, t0, 0);
-      Op_imm (Add, a7, zero, S.Ecall.exit_enclave);
-      Ecall;
-    ]
-
-(* Read the peer's eid from the shared window the OS filled in, accept
-   its mail exactly once (re-accepting would discard a deposited
-   message — an "accepted" flag in the data page survives re-entry),
-   then attempt one send and one receive and exit. No retry spins: a
-   failed attempt just means the peer has not progressed yet, and the
-   next dispatch of this job tries again. Each entry therefore fits in
-   a single quantum. Data page layout: 0 = outgoing message, 8 =
-   accepted flag, 16 = received count, 256 = incoming message, 512 =
-   sender measurement. *)
-let ipc_program () =
-  let open Hw.Isa in
-  li t0 shared_vaddr
-  @ [ Load (Ld, s1, t0, 0) ]
-  @ li s0 (evbase + page)
-  @ [
-      Load (Ld, t2, s0, 8);
-      Branch (Bne, t2, zero, 24);
-      mv a0 s1;
-      Op_imm (Add, a7, zero, S.Ecall.accept_mail);
-      Ecall;
-      Op_imm (Add, t2, zero, 1);
-      Store (Sd, t2, s0, 8);
-    ]
-  @ li t2 0x5a5a
-  @ [
-      Store (Sd, t2, s0, 0);
-      mv a0 s1;
-      mv a1 s0;
-      Op_imm (Add, a7, zero, S.Ecall.send_mail);
-      Ecall;
-      mv a0 s1;
-      Op_imm (Add, a1, s0, 256);
-      Op_imm (Add, a2, s0, 512);
-      Op_imm (Add, a7, zero, S.Ecall.get_mail);
-      Ecall;
-      Branch (Bne, a0, zero, 20);
-      Load (Ld, t2, s0, 16);
-      Op_imm (Add, t2, t2, 1);
-      Store (Sd, t2, s0, 16);
-      (* retrieval resets the mailbox grant to unaccepted, so force a
-         re-accept on the next entry *)
-      Store (Sd, zero, s0, 8);
-      Op_imm (Add, a7, zero, S.Ecall.exit_enclave);
-      Ecall;
-    ]
-
-(* Register a fault handler, then touch an unmapped page: the monitor
-   delivers the fault to the handler (never to the OS), which records
-   the faulting address and exits — enclave self-paging, §V-A. *)
-let paging_program ~k =
-  let open Hw.Isa in
-  let entry =
-    li a0 (evbase + 0x40)
-    @ [ Op_imm (Add, a7, zero, S.Ecall.set_fault_handler); Ecall ]
-    @ li t0 (0x18000 + (k * page))
-    @ [ Load (Ld, t1, t0, 0); j 0 ]
-  in
-  assert (List.length entry <= 16);
-  let entry = entry @ List.init (16 - List.length entry) (fun _ -> nop) in
-  let handler =
-    li t2 (evbase + page)
-    @ [
-        Store (Sd, a0, t2, 0);
-        Op_imm (Add, a7, zero, S.Ecall.exit_enclave);
-        Ecall;
-      ]
-  in
-  entry @ handler
-
-let build_image cfg rng =
-  match cfg.mix with
-  | Compute ->
-      Sanctorum.Image.of_program ~evbase
-        (compute_program ~iters:(200 + next_int rng 800))
-  | Churn ->
-      (* Short-lived, and crucially with no shared window: shared
-         windows pin OS staging memory forever, which a churn loop
-         would exhaust. *)
-      Sanctorum.Image.of_program ~evbase
-        (compute_program ~iters:(50 + next_int rng 150))
-  | Paging ->
-      Sanctorum.Image.of_program ~evbase (paging_program ~k:(next_int rng 4))
-  | Ipc ->
-      Sanctorum.Image.of_program ~evbase
-        ~shared:[ (shared_vaddr, page) ]
-        (ipc_program ())
-
-let le64 v =
-  String.init 8 (fun i ->
-      Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL)))
-
-(* ------------------------------------------------------------------ *)
-
+(* The closed loop is the engine driven in its unbounded mode: the
+   whole population is submitted with no exit target, stepped for
+   exactly [rounds] rounds, then torn down. Job seeds are drawn from a
+   stream keyed by the config seed, so every image and churn decision
+   remains a pure function of the config. *)
 let run cfg =
   if cfg.cores < 1 then invalid_arg "Workload.run: cores must be >= 1";
   if cfg.enclaves < 1 then invalid_arg "Workload.run: enclaves must be >= 1";
@@ -243,176 +79,27 @@ let run cfg =
   if cfg.rounds < 1 then invalid_arg "Workload.run: rounds must be >= 1";
   if cfg.fuel <= cfg.quantum then
     invalid_arg "Workload.run: fuel must exceed the quantum";
-  let metrics = Tel.Metrics.create () in
-  let sink = Tel.Sink.create ~capacity:(1 lsl 16) ~metrics () in
-  (* The keystone platform spends one PMP deny entry per other live
-     enclave domain (and fails closed on overflow), so a many-enclave
-     population needs a PMP sized to match. *)
-  let pmp_entries = max Hw.Pmp.entry_count (cfg.enclaves + 4) in
-  let tb =
-    Testbed.create ~backend:cfg.backend ~cores:cfg.cores ~pmp_entries
-      ~seed:cfg.seed ~sink ()
-  in
-  let os = tb.Testbed.os in
-  let sm = tb.Testbed.sm in
-  let free0 = Os.free_unit_count os in
-  let rng = rng_of_seed cfg.seed in
-  let n_enclaves =
+  let eng = Engine.create cfg in
+  let rng = Rng.of_string cfg.seed in
+  let n =
     if cfg.mix = Ipc then cfg.enclaves - (cfg.enclaves mod 2) else cfg.enclaves
   in
-  let installs = ref 0
-  and reclaims = ref 0
-  and exits = ref 0
-  and preempts = ref 0
-  and fuelex = ref 0
-  and os_faults = ref 0
-  and killed = ref 0
-  and api_errors = ref 0
-  and quanta = ref 0
-  and instret = ref 0
-  and sim_cycles = ref 0 in
-  let findings = ref [] in
-  let dropped = ref 0 in
-  let live = Hashtbl.create 97 (* eid -> tid *) in
-  let install_one image =
-    match Os.retry_transient (fun () -> Os.install_enclave os image) with
-    | Ok inst ->
-        incr installs;
-        Hashtbl.replace live inst.Os.eid (List.hd inst.Os.tids);
-        inst
-    | Error e ->
-        failwith ("Workload.run: install: " ^ Sanctorum.Api_error.to_string e)
-  in
-  let reclaim_one eid =
-    match Os.retry_transient (fun () -> Os.reclaim_enclave os ~eid) with
-    | Ok () ->
-        incr reclaims;
-        Hashtbl.remove live eid
-    | Error _ -> incr api_errors
-  in
-  let sched = Os.Scheduler.create os ~cores:(List.init cfg.cores Fun.id) in
-  (match cfg.mix with
-  | Ipc ->
-      for _p = 1 to n_enclaves / 2 do
-        let a = install_one (build_image cfg rng) in
-        let b = install_one (build_image cfg rng) in
-        let window inst =
-          match inst.Os.shared_paddrs with
-          | (_, paddr, _) :: _ -> paddr
-          | [] -> assert false
-        in
-        Os.os_write os ~paddr:(window a) (le64 (Int64.of_int b.Os.eid));
-        Os.os_write os ~paddr:(window b) (le64 (Int64.of_int a.Os.eid));
-        Os.Scheduler.enqueue sched ~eid:a.Os.eid ~tid:(List.hd a.Os.tids);
-        Os.Scheduler.enqueue sched ~eid:b.Os.eid ~tid:(List.hd b.Os.tids)
-      done
-  | Compute | Paging | Churn ->
-      for _i = 1 to n_enclaves do
-        let inst = install_one (build_image cfg rng) in
-        Os.Scheduler.enqueue sched ~eid:inst.Os.eid ~tid:(List.hd inst.Os.tids)
-      done);
-  Os.clear_delegated_events os;
-  let hist = Tel.Metrics.histogram metrics "workload.quantum.cycles" in
-  let msgs_sent = ref 0 and msgs_received = ref 0 in
-  let history = ref [] (* reversed event-window chunks *) in
-  let checkpoint () =
-    (* API calls never span a round boundary, so each drained window is
-       well-formed for the lock-discipline pass. The orderliness lint
-       needs whole-run lifecycles (a window that opens after an
-       enclave's create would flag every later enter), so windows are
-       accumulated and that pass runs once, at the end. *)
-    let evs = Tel.Sink.events sink in
-    findings := !findings @ An.Checker.snapshot sm @ An.Lockcheck.check evs;
-    List.iter
-      (fun (e : Tel.Event.t) ->
-        match e.Tel.Event.payload with
-        | Tel.Event.Mailbox_sent _ -> incr msgs_sent
-        | Tel.Event.Mailbox_received _ -> incr msgs_received
-        | _ -> ())
-      evs;
-    history := evs :: !history;
-    dropped := !dropped + Tel.Sink.dropped sink;
-    Tel.Sink.clear sink
-  in
-  let t_start = Sys.time () in
-  for r = 1 to cfg.rounds do
-    let slots = Os.Scheduler.round sched ~fuel:cfg.fuel ~quantum:cfg.quantum in
-    List.iter
-      (fun (s : Os.Scheduler.slot) ->
-        incr quanta;
-        instret := !instret + s.Os.Scheduler.s_instret;
-        sim_cycles := !sim_cycles + s.Os.Scheduler.s_cycles;
-        Tel.Metrics.observe hist s.Os.Scheduler.s_cycles;
-        match s.Os.Scheduler.s_outcome with
-        | Ok Os.Exited -> (
-            incr exits;
-            let eid = s.Os.Scheduler.s_eid and tid = s.Os.Scheduler.s_tid in
-            match cfg.mix with
-            | Churn when next_int rng 2 = 0 ->
-                reclaim_one eid;
-                let inst = install_one (build_image cfg rng) in
-                Os.Scheduler.enqueue sched ~eid:inst.Os.eid
-                  ~tid:(List.hd inst.Os.tids)
-            | Compute | Ipc | Paging | Churn ->
-                Os.Scheduler.enqueue sched ~eid ~tid)
-        | Ok Os.Preempted -> incr preempts
-        | Ok Os.Fuel_exhausted -> incr fuelex
-        | Ok (Os.Faulted _) -> incr os_faults
-        | Ok Os.Killed -> incr killed
-        | Error _ -> incr api_errors)
-      slots;
-    if cfg.check_every > 0 && r mod cfg.check_every = 0 then checkpoint ()
+  let jobs = if cfg.mix = Ipc then n / 2 else n in
+  for jid = 0 to jobs - 1 do
+    Engine.submit eng ~jid ~seed:(Rng.next rng) ~target:None
   done;
-  let drained = Os.Scheduler.drain sched ~fuel:cfg.fuel ~quantum:cfg.quantum in
-  Hashtbl.fold (fun eid _ acc -> eid :: acc) live []
-  |> List.sort compare |> List.iter reclaim_one;
-  let wall_s = Sys.time () -. t_start in
-  checkpoint ();
-  findings := !findings @ An.Orderlint.check (List.concat (List.rev !history));
-  let free_end = Os.free_unit_count os in
-  let reclaimed =
-    free_end = free0 && S.enclaves sm = [] && S.thread_ids sm = []
-  in
-  let rate v = if wall_s > 0. then float_of_int v /. wall_s else 0. in
-  {
-    rp_mix = cfg.mix;
-    rp_seed = cfg.seed;
-    rp_cores = cfg.cores;
-    rp_enclaves = n_enclaves;
-    rp_rounds = cfg.rounds;
-    rp_installs = !installs;
-    rp_reclaims = !reclaims;
-    rp_exits = !exits;
-    rp_preempts = !preempts;
-    rp_fuel_exhausted = !fuelex;
-    rp_os_faults = !os_faults;
-    rp_killed = !killed;
-    rp_api_errors = !api_errors;
-    rp_quanta = !quanta;
-    rp_instret = !instret;
-    rp_sim_cycles = !sim_cycles;
-    rp_msgs_sent = !msgs_sent;
-    rp_msgs_received = !msgs_received;
-    rp_wall_s = wall_s;
-    rp_mips = rate !instret /. 1e6;
-    rp_ops_per_sec = rate (!installs + !reclaims + !exits);
-    rp_quantum_p50 = Tel.Metrics.percentile hist 0.5;
-    rp_quantum_p90 = Tel.Metrics.percentile hist 0.9;
-    rp_quantum_p99 = Tel.Metrics.percentile hist 0.99;
-    rp_findings = !findings;
-    rp_trace_dropped = !dropped;
-    rp_drained = drained;
-    rp_free_units_boot = free0;
-    rp_free_units_end = free_end;
-    rp_reclaimed = reclaimed;
-  }
+  for _ = 1 to cfg.rounds do
+    ignore (Engine.step eng : int list)
+  done;
+  Engine.finish eng
 
 let pp_report fmt r =
   Format.fprintf fmt
     "@[<v>workload %s: seed=%S cores=%d enclaves=%d rounds=%d@,\
      ops      : installs=%d reclaims=%d exits=%d preempts=%d fuel-exhausted=%d \
      os-faults=%d killed=%d api-errors=%d@,\
-     volume   : quanta=%d instret=%d sim-cycles=%d msgs sent=%d received=%d@,\
+     volume   : quanta=%d instret=%d sim-cycles=%d msgs sent=%d received=%d \
+     in-flight=%d accounted=%b@,\
      rates    : wall=%.3fs mips=%.2f enclave-ops/s=%.1f@,\
      latency  : per-quantum sim cycles p50<=%d p90<=%d p99<=%d@,\
      analysis : findings=%d dropped-events=%d@,\
@@ -420,9 +107,26 @@ let pp_report fmt r =
     (mix_name r.rp_mix) r.rp_seed r.rp_cores r.rp_enclaves r.rp_rounds
     r.rp_installs r.rp_reclaims r.rp_exits r.rp_preempts r.rp_fuel_exhausted
     r.rp_os_faults r.rp_killed r.rp_api_errors r.rp_quanta r.rp_instret
-    r.rp_sim_cycles r.rp_msgs_sent r.rp_msgs_received r.rp_wall_s r.rp_mips
-    r.rp_ops_per_sec r.rp_quantum_p50
+    r.rp_sim_cycles r.rp_msgs_sent r.rp_msgs_received r.rp_msgs_inflight
+    r.rp_msgs_accounted r.rp_wall_s r.rp_mips r.rp_ops_per_sec r.rp_quantum_p50
     r.rp_quantum_p90 r.rp_quantum_p99
     (List.length r.rp_findings)
     r.rp_trace_dropped r.rp_drained r.rp_free_units_boot r.rp_free_units_end
     r.rp_reclaimed
+
+(* Everything the simulated machine decided, none of what the host
+   clock measured: byte-identical across replays of the same (seed,
+   shard) pair, which is how the fleet tests prove shard determinism. *)
+let arch_signature r =
+  Printf.sprintf
+    "mix=%s seed=%s cores=%d enclaves=%d rounds=%d installs=%d reclaims=%d \
+     exits=%d preempts=%d fuelex=%d osfaults=%d killed=%d apierr=%d quanta=%d \
+     instret=%d cycles=%d sent=%d recv=%d inflight=%d accounted=%b p50=%d \
+     p90=%d p99=%d findings=%d drained=%b free=%d/%d reclaimed=%b"
+    (mix_name r.rp_mix) r.rp_seed r.rp_cores r.rp_enclaves r.rp_rounds
+    r.rp_installs r.rp_reclaims r.rp_exits r.rp_preempts r.rp_fuel_exhausted
+    r.rp_os_faults r.rp_killed r.rp_api_errors r.rp_quanta r.rp_instret
+    r.rp_sim_cycles r.rp_msgs_sent r.rp_msgs_received r.rp_msgs_inflight
+    r.rp_msgs_accounted r.rp_quantum_p50 r.rp_quantum_p90 r.rp_quantum_p99
+    (List.length r.rp_findings)
+    r.rp_drained r.rp_free_units_boot r.rp_free_units_end r.rp_reclaimed

@@ -7,6 +7,11 @@
     destroy / reclaim churn — while the analysis layer's invariant
     checker and lock-discipline analyzer watch the whole run.
 
+    This is a thin driver over {!Engine}, the job-oriented single-shard
+    API: [run] submits the whole population as unbounded jobs and steps
+    the engine for a fixed round count. The fleet layer drives the same
+    engine with per-job exit targets instead.
+
     {b Determinism contract.} The schedule and every architectural
     outcome — which enclave runs on which core in which round, every
     AEX, every fault, every mailbox delivery, the per-quantum
@@ -15,8 +20,8 @@
     wall-clock time is consulted only to convert the simulated totals
     into MIPS / ops-per-second rates; it never influences a decision. *)
 
-(** The four traffic mixes. *)
-type mix =
+(** The four traffic mixes (= {!Programs.mix}). *)
+type mix = Programs.mix =
   | Compute  (** tight store loops; exercises enter / preempt / resume *)
   | Ipc  (** enclave pairs exchanging mailbox messages *)
   | Paging
@@ -33,7 +38,7 @@ val mix_of_string : string -> (mix, string) result
 
 val all_mixes : mix list
 
-type config = {
+type config = Engine.config = {
   seed : string;
   backend : Sanctorum_os.Testbed.backend;
   cores : int;
@@ -54,7 +59,7 @@ val default : config
     many-enclave mixes need), 4 cores, 64 enclaves, 1000 rounds,
     compute mix, seed ["workload"]. *)
 
-type report = {
+type report = Engine.report = {
   rp_mix : mix;
   rp_seed : string;
   rp_cores : int;
@@ -73,6 +78,12 @@ type report = {
   rp_sim_cycles : int;  (** simulated cycles across all quanta *)
   rp_msgs_sent : int;  (** mailbox messages deposited (ipc mix) *)
   rp_msgs_received : int;  (** mailbox messages retrieved (ipc mix) *)
+  rp_msgs_inflight : int;
+      (** messages still sitting in a mailbox when its owner was
+          reclaimed — the in-flight tail that explains any
+          sent/received gap *)
+  rp_msgs_accounted : bool;
+      (** [sent = received + inflight]: no message is unaccounted for *)
   rp_wall_s : float;  (** host seconds for the scheduling loop *)
   rp_mips : float;  (** simulated Minstr / host second *)
   rp_ops_per_sec : float;
@@ -99,3 +110,10 @@ val run : config -> report
 
 val pp_report : Format.formatter -> report -> unit
 (** Multi-line human-readable summary. *)
+
+val arch_signature : report -> string
+(** Every architectural field of the report, rendered to one line —
+    and none of the host-clock ones ([rp_wall_s], [rp_mips],
+    [rp_ops_per_sec]). Two runs of the same shard are bit-deterministic
+    iff their signatures are byte-identical; the fleet tests compare
+    these across replays and domain counts. *)

@@ -22,4 +22,5 @@ let () =
       Test_faults.suite;
       Test_fastpath.suite;
       Test_workload.suite;
+      Test_fleet.suite;
     ]

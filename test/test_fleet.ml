@@ -1,0 +1,261 @@
+(* The fleet layer (DESIGN.md §9): domain-parallel shards under an
+   attested control plane. The contracts under test:
+
+   - channels deliver FIFO and block correctly across domains;
+   - placement policies are pure functions of (policy, seed, history);
+   - per-shard reports are bit-deterministic: two runs of the same
+     config produce byte-identical architectural signatures;
+   - a node whose evidence fails verification never joins and never
+     receives a job — the negative half of remote attestation;
+   - a quarantined shard is evicted and every job it held is either
+     completed on a healthy shard or failed closed, with the
+     completed/failed partition covering the job set exactly;
+   - the property: for any (seed, policy, fault spec), the run ends
+     with every shard clean or the fleet failed closed with every job
+     accounted. *)
+module Fl = Sanctorum_fleet.Cluster
+module Policy = Sanctorum_fleet.Policy
+module Channel = Sanctorum_fleet.Channel
+module W = Sanctorum_workload.Workload
+module Spec = Sanctorum_faults.Spec
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A config small enough that a run stays under a second: the qcheck
+   property and the negative tests all start from here. *)
+let small_config =
+  {
+    Fl.default with
+    Fl.shards = 2;
+    cores = 2;
+    enclaves = 4;
+    jobs = 6;
+    target = 2;
+    batch_rounds = 400;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Channels. *)
+
+let test_channel_fifo () =
+  let ch = Channel.create () in
+  List.iter (Channel.send ch) [ 1; 2; 3 ];
+  check_int "len" 3 (Channel.length ch);
+  check_int "fifo 1" 1 (Channel.recv ch);
+  check_int "fifo 2" 2 (Channel.recv ch);
+  check_bool "try_recv last" true (Channel.try_recv ch = Some 3);
+  check_bool "try_recv empty" true (Channel.try_recv ch = None)
+
+let test_channel_cross_domain () =
+  let req = Channel.create () and resp = Channel.create () in
+  let echo = Domain.spawn (fun () ->
+      let rec loop () =
+        match Channel.recv req with
+        | 0 -> ()
+        | n ->
+            Channel.send resp (n * 2);
+            loop ()
+      in
+      loop ())
+  in
+  for i = 1 to 100 do
+    Channel.send req i;
+    check_int "echoed doubled" (i * 2) (Channel.recv resp)
+  done;
+  Channel.send req 0;
+  Domain.join echo
+
+(* ------------------------------------------------------------------ *)
+(* Placement policies. *)
+
+let test_policy_round_robin () =
+  let st = Policy.create Policy.Round_robin ~nodes:3 ~seed:1L in
+  let picks = List.map (fun jid -> Policy.place st ~jid ~eligible:[ 0; 1; 2 ])
+      [ 0; 1; 2; 3; 4; 5 ]
+  in
+  check_bool "cycles" true
+    (picks = [ Some 0; Some 1; Some 2; Some 0; Some 1; Some 2 ]);
+  (* an ineligible node is skipped, not waited for *)
+  check_bool "skips ineligible" true
+    (Policy.place st ~jid:6 ~eligible:[ 1 ] = Some 1);
+  check_bool "empty eligible" true (Policy.place st ~jid:7 ~eligible:[] = None)
+
+let test_policy_least_loaded () =
+  let st = Policy.create Policy.Least_loaded ~nodes:3 ~seed:1L in
+  ignore (Policy.place st ~jid:0 ~eligible:[ 0 ]);
+  ignore (Policy.place st ~jid:1 ~eligible:[ 0 ]);
+  (* node 0 carries 2 jobs; the next free choice must avoid it *)
+  check_bool "avoids the loaded node" true
+    (Policy.place st ~jid:2 ~eligible:[ 0; 1; 2 ] = Some 1);
+  ignore (Policy.place st ~jid:3 ~eligible:[ 0; 1; 2 ]);
+  check_int "loads recorded" 2 (Policy.load st 0);
+  check_int "tie went to lowest id" 1 (Policy.load st 1)
+
+let test_policy_affinity_deterministic () =
+  let homes seed =
+    let st = Policy.create Policy.Affinity ~nodes:4 ~seed in
+    List.map (fun jid -> Policy.place st ~jid ~eligible:[ 0; 1; 2; 3 ])
+      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  check_bool "same seed, same homes" true (homes 7L = homes 7L);
+  (* a job keeps its home across repeated placements (migration replays) *)
+  let st = Policy.create Policy.Affinity ~nodes:4 ~seed:7L in
+  let h1 = Policy.place st ~jid:5 ~eligible:[ 0; 1; 2; 3 ] in
+  let h2 = Policy.place st ~jid:5 ~eligible:[ 0; 1; 2; 3 ] in
+  check_bool "home is sticky" true (h1 = h2)
+
+(* ------------------------------------------------------------------ *)
+(* Fleet runs. *)
+
+let test_clean_run () =
+  let o = Fl.run small_config in
+  check_bool "clean" true o.Fl.r_clean;
+  check_int "all jobs completed" small_config.Fl.jobs
+    (List.length o.Fl.r_completed);
+  check_bool "none failed closed" true (o.Fl.r_failed_closed = []);
+  check_int "both shards joined" 2
+    (List.length (List.filter (fun s -> s.Fl.so_joined) o.Fl.r_shards));
+  check_bool "attestations verified" true
+    (List.assoc "fleet.attest.verified" o.Fl.r_counters = 2);
+  check_bool "placements counted" true
+    (List.assoc "fleet.jobs.placed" o.Fl.r_counters >= small_config.Fl.jobs)
+
+(* Bit-determinism: the architectural half of every shard report — and
+   the fleet-level job partition — replays byte-identically. *)
+let test_shard_determinism () =
+  let cfg = { small_config with Fl.policy = Policy.Affinity } in
+  let a = Fl.run cfg and b = Fl.run cfg in
+  List.iter2
+    (fun sa sb ->
+      Alcotest.(check string)
+        (Printf.sprintf "shard %d replays byte-identically" sa.Fl.so_node)
+        (W.arch_signature sa.Fl.so_report)
+        (W.arch_signature sb.Fl.so_report))
+    a.Fl.r_shards b.Fl.r_shards;
+  check_bool "same completion set" true (a.Fl.r_completed = b.Fl.r_completed);
+  check_bool "same failure set" true
+    (a.Fl.r_failed_closed = b.Fl.r_failed_closed);
+  check_int "same generations" a.Fl.r_generations b.Fl.r_generations
+
+(* The attestation negative: a rogue shard presents corrupted evidence;
+   it must never join, never hold a job, and the work must complete on
+   the honest shard alone. *)
+let test_rogue_node_starved () =
+  let o = Fl.run { small_config with Fl.rogue = [ 1 ] } in
+  let rogue = List.nth o.Fl.r_shards 1 in
+  let honest = List.nth o.Fl.r_shards 0 in
+  check_bool "rogue never joined" false rogue.Fl.so_joined;
+  check_int "rogue installed nothing" 0 rogue.Fl.so_report.W.rp_installs;
+  check_int "rogue ran nothing" 0 rogue.Fl.so_report.W.rp_exits;
+  check_bool "honest shard did the work" true
+    (honest.Fl.so_report.W.rp_installs > 0);
+  check_int "rejection counted" 1
+    (List.assoc "fleet.attest.rejected" o.Fl.r_counters);
+  check_int "one join" 1 (List.assoc "fleet.nodes.joined" o.Fl.r_counters);
+  check_int "all jobs still completed" small_config.Fl.jobs
+    (List.length o.Fl.r_completed);
+  check_bool "clean despite the rogue" true o.Fl.r_clean
+
+(* The quarantine negative: machine checks take shard 0 down mid-run.
+   The shard must be evicted, and every job is either completed on a
+   healthy shard or failed closed — nothing lost, nothing duplicated. *)
+let test_quarantine_migration () =
+  let spec = Result.get_ok (Spec.parse "mce:2") in
+  let cfg =
+    {
+      Fl.default with
+      Fl.shards = 3;
+      jobs = 12;
+      enclaves = 6;
+      target = 3;
+      faults = [ (0, spec) ];
+    }
+  in
+  let o = Fl.run cfg in
+  check_bool "every job accounted" true o.Fl.r_accounted;
+  let completed = List.length o.Fl.r_completed in
+  let failed = List.length o.Fl.r_failed_closed in
+  check_int "partition covers the job set" cfg.Fl.jobs (completed + failed);
+  let sorted_union =
+    List.sort compare (o.Fl.r_completed @ List.map fst o.Fl.r_failed_closed)
+  in
+  check_bool "no duplicates, no gaps" true
+    (sorted_union = List.init cfg.Fl.jobs (fun i -> i));
+  check_bool "no findings even under fire" true (o.Fl.r_findings = 0);
+  (* if the faults actually bit (the schedule is seeded, so they do),
+     the shard was evicted and its in-flight jobs moved *)
+  let sh0 = List.hd o.Fl.r_shards in
+  check_bool "faulted shard evicted" true sh0.Fl.so_evicted;
+  check_bool "migrations recorded" true
+    (List.assoc "fleet.jobs.migrated" o.Fl.r_counters > 0);
+  check_int "eviction counted" 1
+    (List.assoc "fleet.nodes.evicted" o.Fl.r_counters)
+
+(* The fleet-wide property, the reason the layer exists: for any
+   (seed, policy, fault spec) the run terminates with every job in
+   exactly one of {completed, failed-closed}, and either everything is
+   clean or the failure was contained by eviction — never an
+   unaccounted job, never a finding. *)
+let prop_fleet_accounts_for_every_job =
+  QCheck2.Test.make
+    ~name:"fleet: any (seed, policy, faults) accounts for every job" ~count:5
+    ~print:(fun (seed, policy, fault) ->
+      Printf.sprintf "(%d, %s, %s)" seed (Policy.name policy)
+        (Option.value ~default:"none" fault))
+    QCheck2.Gen.(
+      triple (int_bound 1000) (oneofl Policy.all)
+        (oneofl [ None; Some "mce:1"; Some "bitflip:3"; Some "mce:1,bitflip:2" ]))
+    (fun (seed, policy, fault) ->
+      let faults =
+        match fault with
+        | None -> []
+        | Some s -> [ (1, Result.get_ok (Spec.parse s)) ]
+      in
+      let cfg =
+        {
+          small_config with
+          Fl.seed = Printf.sprintf "prop-%d" seed;
+          policy;
+          faults;
+          fault_horizon = 120_000;
+        }
+      in
+      let o = Fl.run cfg in
+      if not o.Fl.r_accounted then QCheck2.Test.fail_report "job lost";
+      if o.Fl.r_findings <> 0 then
+        QCheck2.Test.fail_reportf "%d findings" o.Fl.r_findings;
+      List.iter
+        (fun (s : Fl.shard_outcome) ->
+          if s.Fl.so_joined && not s.Fl.so_evicted then begin
+            if not s.Fl.so_report.W.rp_reclaimed then
+              QCheck2.Test.fail_reportf "shard %d leaked" s.Fl.so_node;
+            if not s.Fl.so_report.W.rp_msgs_accounted then
+              QCheck2.Test.fail_reportf "shard %d mail unaccounted"
+                s.Fl.so_node
+          end)
+        o.Fl.r_shards;
+      true)
+
+let suite =
+  ( "fleet",
+    [
+      Alcotest.test_case "channel: fifo and try_recv" `Quick test_channel_fifo;
+      Alcotest.test_case "channel: cross-domain echo" `Quick
+        test_channel_cross_domain;
+      Alcotest.test_case "policy: round-robin cycles and skips" `Quick
+        test_policy_round_robin;
+      Alcotest.test_case "policy: least-loaded avoids hot nodes" `Quick
+        test_policy_least_loaded;
+      Alcotest.test_case "policy: affinity homes are sticky" `Quick
+        test_policy_affinity_deterministic;
+      Alcotest.test_case "cluster: clean run completes every job" `Slow
+        test_clean_run;
+      Alcotest.test_case "cluster: shard reports replay byte-identically"
+        `Slow test_shard_determinism;
+      Alcotest.test_case "attestation: rogue node never receives a job" `Slow
+        test_rogue_node_starved;
+      Alcotest.test_case "quarantine: evicted shard's jobs land elsewhere"
+        `Slow test_quarantine_migration;
+      QCheck_alcotest.to_alcotest prop_fleet_accounts_for_every_job;
+    ] )

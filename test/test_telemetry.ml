@@ -69,6 +69,41 @@ let test_histogram_summary () =
   check_int "max" 10 s.Tel.Metrics.max;
   Alcotest.(check (float 0.001)) "mean" 4.0 s.Tel.Metrics.mean
 
+(* The log-linear buckets must keep nearby latency modes apart: a
+   distribution with distinct p50/p90/p99 populations must report
+   three distinct percentiles (each within the documented 25% bucket
+   error), not one saturated bucket upper for all three. *)
+let test_percentile_resolution () =
+  let m = Tel.Metrics.create () in
+  let h = Tel.Metrics.histogram m "latency.resolution" in
+  for _ = 1 to 80 do Tel.Metrics.observe h 520 done;
+  for _ = 1 to 15 do Tel.Metrics.observe h 700 done;
+  for _ = 1 to 5 do Tel.Metrics.observe h 1000 done;
+  let p50 = Tel.Metrics.percentile h 0.50 in
+  let p90 = Tel.Metrics.percentile h 0.90 in
+  let p99 = Tel.Metrics.percentile h 0.99 in
+  check_int "p50 bucket" 639 p50;
+  check_int "p90 bucket" 767 p90;
+  check_int "p99 clamps to max" 1000 p99;
+  check_bool "p50 < p90 < p99" true (p50 < p90 && p90 < p99);
+  (* each upper bound stays within the advertised 25% of the mode *)
+  List.iter
+    (fun (p, v) ->
+      check_bool
+        (Printf.sprintf "p=%d within 25%% of %d" p v)
+        true
+        (p >= v && float_of_int p <= 1.25 *. float_of_int v))
+    [ (p50, 520); (p90, 700); (p99, 1000) ];
+  (* merge preserves the shape: fold a second histogram in and the
+     percentiles of the union come out of the merged buckets *)
+  let m2 = Tel.Metrics.create () in
+  let h2 = Tel.Metrics.histogram m2 "latency.resolution" in
+  for _ = 1 to 100 do Tel.Metrics.observe h2 520 done;
+  Tel.Metrics.merge ~into:h2 h;
+  check_int "merged count" 200 (Tel.Metrics.summary h2).Tel.Metrics.count;
+  check_int "merged p50" 639 (Tel.Metrics.percentile h2 0.50);
+  check_int "merged p99" 1000 (Tel.Metrics.percentile h2 0.99)
+
 (* ------------------------------------------------------------------ *)
 (* A traced end-to-end run shared by the remaining tests. *)
 
@@ -242,6 +277,8 @@ let suite =
         test_metrics_registry;
       Alcotest.test_case "metrics: histogram summary" `Quick
         test_histogram_summary;
+      Alcotest.test_case "metrics: percentile resolution and merge" `Quick
+        test_percentile_resolution;
       Alcotest.test_case "export: chrome trace is well-formed" `Quick
         test_chrome_trace_wellformed;
       Alcotest.test_case "export: jsonl round-trips" `Quick test_jsonl_export;

@@ -84,6 +84,31 @@ let test_ipc_delivers () =
   check_bool "received <= sent" true
     (r.W.rp_msgs_received <= r.W.rp_msgs_sent)
 
+(* The accounting regression this PR's sweep fixes: a deposit the peer
+   never retrieved used to vanish from the ledger, so sent > received
+   looked like message loss. The report now reads each mailbox's
+   deposited/retrieved counters before reclaim and carries the gap as
+   [rp_msgs_inflight]; sent must equal received + in-flight exactly,
+   across seeds. *)
+let test_ipc_accounting () =
+  List.iter
+    (fun seed ->
+      let r =
+        W.run { (small_config ~seed ~mix:W.Ipc) with W.rounds = 17 }
+      in
+      check_bool
+        (Printf.sprintf "seed %S: ledger balances" seed)
+        true r.W.rp_msgs_accounted;
+      check_int
+        (Printf.sprintf "seed %S: sent = received + in-flight" seed)
+        r.W.rp_msgs_sent
+        (r.W.rp_msgs_received + r.W.rp_msgs_inflight);
+      check_bool
+        (Printf.sprintf "seed %S: in-flight non-negative" seed)
+        true
+        (r.W.rp_msgs_inflight >= 0))
+    [ "mail"; "mail-2"; "acct" ]
+
 (* Scheduler queue discipline: Exited jobs leave the queue; re-enqueue
    puts them back; pending tracks both. *)
 let test_scheduler_queue () =
@@ -173,6 +198,8 @@ let suite =
       Alcotest.test_case "determinism: identical replays" `Slow
         test_deterministic;
       Alcotest.test_case "ipc mix delivers mail" `Quick test_ipc_delivers;
+      Alcotest.test_case "ipc accounting: sent = received + in-flight" `Quick
+        test_ipc_accounting;
       Alcotest.test_case "reclaim clears AEX state under the thread lock"
         `Quick test_reclaim_clears_aex_under_lock;
       QCheck_alcotest.to_alcotest prop_clean_and_reclaimed;
