@@ -85,7 +85,7 @@ let arm_checker opts sm =
            | vs ->
                Format.eprintf "invariant violation after %s:@.%a@." api
                  An.Report.pp_list vs;
-               exit 2))
+               exit 1))
 
 (* --slow-sim: force the reference stepped interpreter. Architectural
    results are identical either way (that equivalence is property-
@@ -266,7 +266,7 @@ let cmd_chaos tel backend seed faults rounds =
   match Sanctorum_faults.Spec.parse faults with
   | Error msg ->
       Printf.eprintf "sanctorum_demo chaos: --faults %S: %s\n" faults msg;
-      exit 124
+      exit 2
   | Ok spec ->
       with_telemetry tel @@ fun sink ->
       let seed = Int64.of_int seed in
@@ -294,7 +294,7 @@ let cmd_workload backend seed cores enclaves rounds mix fuel quantum
   match W.mix_of_string mix with
   | Error msg ->
       Printf.eprintf "sanctorum_demo workload: --mix: %s\n" msg;
-      exit 124
+      exit 2
   | Ok mix ->
       let cfg =
         {
@@ -338,21 +338,21 @@ let cmd_fleet backend seed shards cores enclaves jobs target mix policy
              | _ ->
                  Printf.eprintf "sanctorum_demo fleet: %s: bad shard id %S\n"
                    what t;
-                 exit 124)
+                 exit 2)
   in
   let mix =
     match W.mix_of_string mix with
     | Ok m -> m
     | Error msg ->
         Printf.eprintf "sanctorum_demo fleet: --mix: %s\n" msg;
-        exit 124
+        exit 2
   in
   let policy =
     match Sanctorum_fleet.Policy.of_string policy with
     | Ok p -> p
     | Error msg ->
         Printf.eprintf "sanctorum_demo fleet: --policy: %s\n" msg;
-        exit 124
+        exit 2
   in
   let fault_spec =
     if faults = "" then None
@@ -361,7 +361,7 @@ let cmd_fleet backend seed shards cores enclaves jobs target mix policy
       | Ok s -> Some s
       | Error msg ->
           Printf.eprintf "sanctorum_demo fleet: --faults: %s\n" msg;
-          exit 124
+          exit 2
   in
   let faulty = parse_shards "--faulty-shards" faulty_shards in
   let faults =
@@ -397,6 +397,117 @@ let cmd_fleet backend seed shards cores enclaves jobs target mix policy
       r.Fl.r_findings r.Fl.r_accounted;
     exit 1
   end
+
+(* `sanctorum_demo modelcheck`: bounded exhaustive exploration of the
+   SM API state space (lib/analysis/modelcheck.mli). Exit 1 on any
+   finding, 2 on a bad flag or replay path. *)
+let cmd_modelcheck tel backend depth cores units diff cold inject max_states
+    replay =
+  let module M = An.Modelcheck in
+  let backend =
+    match backend with
+    | Testbed.Sanctum_backend -> M.Sanctum
+    | Testbed.Keystone_backend -> M.Keystone
+  in
+  let inject =
+    match inject with
+    | None -> None
+    | Some s -> (
+        match M.fault_of_string s with
+        | Ok f -> Some f
+        | Error msg ->
+            Printf.eprintf "sanctorum_demo modelcheck: --inject: %s\n" msg;
+            exit 2)
+  in
+  with_telemetry tel @@ fun sink ->
+  let cfg =
+    {
+      M.backend;
+      depth;
+      cores;
+      units;
+      diff;
+      warm = not cold;
+      inject;
+      max_states;
+      sink = Option.value sink ~default:Tel.Sink.null;
+    }
+  in
+  match replay with
+  | Some path_str -> (
+      match M.path_of_string path_str with
+      | Error msg ->
+          Printf.eprintf "sanctorum_demo modelcheck: --replay: %s\n" msg;
+          exit 2
+      | Ok path -> (
+          match M.replay cfg path with
+          | exception Invalid_argument msg ->
+              Printf.eprintf "sanctorum_demo modelcheck: %s\n" msg;
+              exit 2
+          | steps, report ->
+              Printf.printf "replaying %d actions on %s%s%s:\n"
+                (List.length path)
+                (M.backend_name backend)
+                (if diff then
+                   " (diffed against " ^ M.backend_name (M.other_backend backend)
+                   ^ ")"
+                 else "")
+                (if cold then ", cold start" else "");
+              List.iter
+                (fun st ->
+                  match st.M.r_verdict_other with
+                  | None ->
+                      Printf.printf "  %-24s -> %s\n"
+                        (M.action_to_string st.M.r_action)
+                        st.M.r_verdict
+                  | Some other ->
+                      Printf.printf "  %-24s -> %s | %s\n"
+                        (M.action_to_string st.M.r_action)
+                        st.M.r_verdict other)
+                steps;
+              if report = [] then Printf.printf "final state: catalog clean\n"
+              else begin
+                Printf.printf "final state: %d violations\n" (List.length report);
+                Format.printf "%a@." An.Report.pp_list report;
+                exit 1
+              end))
+  | None -> (
+      match M.explore cfg with
+      | exception Invalid_argument msg ->
+          Printf.eprintf "sanctorum_demo modelcheck: %s\n" msg;
+          exit 2
+      | s ->
+          let ok_edges = s.M.s_states - 1 + s.M.s_dedup_hits in
+          Printf.printf
+            "modelcheck %s depth=%d cores=%d units=%d%s%s\n\
+            \  states    %d%s\n\
+            \  edges     %d (%d accepted)\n\
+            \  dedup     %d hits (%.1f%% of accepted edges)\n\
+            \  digest    %s\n"
+            (M.backend_name backend) depth cores units
+            (if diff then " --diff" else "")
+            (if cold then " --cold" else "")
+            s.M.s_states
+            (if s.M.s_truncated then " (truncated at --max-states)" else "")
+            s.M.s_edges ok_edges s.M.s_dedup_hits
+            (if ok_edges = 0 then 0.
+             else 100. *. float s.M.s_dedup_hits /. float ok_edges)
+            s.M.s_state_digest;
+          if s.M.s_findings_total = 0 then Printf.printf "no findings\n"
+          else begin
+            Printf.printf "%d findings%s:\n" s.M.s_findings_total
+              (if s.M.s_findings_total > List.length s.M.s_findings then
+                 Printf.sprintf " (first %d minimized)"
+                   (List.length s.M.s_findings)
+               else "");
+            List.iter
+              (fun f ->
+                Printf.printf "  [%s] %s\n    reproduce: %s\n" (M.finding_id f)
+                  f.M.f_detail
+                  (M.replay_command cfg (M.finding_path f)))
+              s.M.s_findings;
+            exit 1
+          end)
 
 (* `sanctorum_demo check`: run the canonical scenarios on both backends
    with the full analysis harness armed — snapshot pass after every API
@@ -838,13 +949,95 @@ let leak_cmd =
   Cmd.v (Cmd.info "leak" ~doc:"Prime+probe cache attack against a victim enclave.")
     Term.(const cmd_leak $ tel_term $ backend_arg $ secret)
 
+let modelcheck_cmd =
+  let depth =
+    Arg.(
+      value & opt int 4
+      & info [ "depth" ] ~docv:"K"
+          ~doc:"Exploration depth bound (API calls past the initial state).")
+  in
+  let cores =
+    Arg.(
+      value & opt int 1
+      & info [ "cores" ] ~docv:"N" ~doc:"Cores in the model geometry (1-2).")
+  in
+  let units =
+    Arg.(
+      value & opt int 2
+      & info [ "units" ] ~docv:"U"
+          ~doc:"Memory-unit groups exposed to actions (1-4).")
+  in
+  let diff =
+    Arg.(
+      value & flag
+      & info [ "diff" ]
+          ~doc:
+            "Run the same action sequences on the other backend in lockstep \
+             and report any accept/reject divergence as a finding.")
+  in
+  let cold =
+    Arg.(
+      value & flag
+      & info [ "cold" ]
+          ~doc:
+            "Explore from raw boot instead of boot + the canonical bring-up \
+             scenario (see the DESIGN.md section on exhaustive checking).")
+  in
+  let inject =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"FAULT"
+          ~doc:
+            "Arm a seeded fault as an extra action: $(b,owner-map:U), \
+             $(b,lifecycle:E), $(b,thread:T:C) or $(b,meta). The explorer \
+             must reach it and the catalog must convict it.")
+  in
+  let max_states =
+    Arg.(
+      value & opt int 200_000
+      & info [ "max-states" ] ~docv:"N"
+          ~doc:"Stop after discovering $(docv) deduplicated states.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"PATH"
+          ~doc:
+            "Skip exploration: apply this comma-separated action sequence \
+             (as printed in a finding's reproduce line), print each verdict \
+             and the final catalog report.")
+  in
+  Cmd.v
+    (Cmd.info "modelcheck"
+       ~doc:
+         "Bounded exhaustive exploration of the SM API state space on a \
+          small-geometry machine: every action at every reachable state up \
+          to --depth, with canonical-hash deduplication, the full analysis \
+          catalog at every new state, optional cross-backend differential \
+          checking, and delta-debugged replayable counterexamples; exit 1 \
+          on any finding, 2 on usage errors.")
+    Term.(
+      const cmd_modelcheck $ tel_term $ backend_arg $ depth $ cores $ units
+      $ diff $ cold $ inject $ max_states $ replay)
+
+(* One exit-code convention across every subcommand: 0 clean, 1 any
+   finding or failed check, 2 usage errors (bad flag, bad spec, bad
+   replay path). Cmdliner maps parse errors to its own 124 by default,
+   so the mapping to 2 is done here. *)
 let () =
   let doc = "drive the Sanctorum security-monitor reproduction" in
+  let cmd =
+    Cmd.group ~default:run_term
+      (Cmd.info "sanctorum_demo" ~doc)
+      [
+        boot_cmd; run_cmd; attest_cmd; probe_cmd; leak_cmd; check_cmd;
+        chaos_cmd; workload_cmd; fleet_cmd; modelcheck_cmd;
+      ]
+  in
   exit
-    (Cmd.eval
-       (Cmd.group ~default:run_term
-          (Cmd.info "sanctorum_demo" ~doc)
-          [
-            boot_cmd; run_cmd; attest_cmd; probe_cmd; leak_cmd; check_cmd;
-            chaos_cmd; workload_cmd; fleet_cmd;
-          ]))
+    (match Cmd.eval_value cmd with
+    | Ok (`Ok ()) | Ok `Help | Ok `Version -> 0
+    | Error (`Parse | `Term) -> 2
+    | Error `Exn -> Cmd.Exit.internal_error)

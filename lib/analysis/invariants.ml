@@ -10,6 +10,25 @@ module Resource = Sanctorum.Resource
 
 let page = Hw.Phys_mem.page_size
 
+(* Every id [check] can report, in catalog order. The catalog-sync
+   test holds this list, Checker.catalog and the DESIGN.md §4.1 table
+   to exact agreement. *)
+let ids =
+  [
+    "own.exclusive";
+    "own.sm-reserved";
+    "pt.confined";
+    "pt.no-alias";
+    "tlb.no-stale";
+    "cache.no-residue";
+    "enclave.lifecycle";
+    "thread.lifecycle";
+    "core.domain";
+    "core.quarantine";
+    "meta.slots";
+    "lock.quiescent";
+  ]
+
 type ctx = {
   sm : Sm.t;
   pf : Pf.Platform.t;

@@ -14,4 +14,9 @@
     [enclave.lifecycle], [thread.lifecycle], [core.domain],
     [meta.slots], [lock.quiescent]. *)
 
+val ids : string list
+(** Every invariant id this pass can report, in catalog order. The
+    catalog-sync test asserts this list, {!Checker.catalog} and the
+    DESIGN.md §4.1 table agree exactly. *)
+
 val check : Sanctorum.Sm.t -> Report.violation list

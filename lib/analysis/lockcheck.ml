@@ -8,6 +8,10 @@
 
 module Event = Sanctorum_telemetry.Event
 
+(* Every id [check] can report, in catalog order (see
+   Invariants.ids). *)
+let ids = [ "lock.leak"; "lock.guard"; "lock.order" ]
+
 (* Lock classes define the global acquisition order the monitor is
    expected to respect: resource < enclave < thread. An inversion is a
    cycle in the observed class-order graph. *)

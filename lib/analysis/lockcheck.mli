@@ -7,4 +7,7 @@
     that the observed acquisition order between lock classes
     (resource, enclave, thread) is acyclic ([lock.order]). *)
 
+val ids : string list
+(** Every invariant id this pass can report, in catalog order. *)
+
 val check : Sanctorum_telemetry.Event.t list -> Report.violation list

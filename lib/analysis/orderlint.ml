@@ -8,6 +8,20 @@
 
 module Event = Sanctorum_telemetry.Event
 
+(* Every id [check] can report, in catalog order (see
+   Invariants.ids). *)
+let ids =
+  [
+    "order.create";
+    "order.init";
+    "order.enter";
+    "order.exit";
+    "order.destroy";
+    "order.grant";
+    "order.aex-resume";
+    "order.mailbox";
+  ]
+
 type enclave_state = { mutable initialized : bool; mutable entered : int }
 
 type state = {
@@ -138,7 +152,8 @@ let step st ~seq ~core payload =
                  "AEX state read with no AEX pending (event #%d)" seq))
   | Event.Mailbox_sent { recipient; _ } ->
       Hashtbl.replace st.pending_mail recipient
-        (1 + Option.value ~default:0 (Hashtbl.find_opt st.pending_mail recipient))
+        (1
+        + Option.value ~default:0 (Hashtbl.find_opt st.pending_mail recipient))
   | Event.Mailbox_received { recipient; _ } -> (
       match Hashtbl.find_opt st.pending_mail recipient with
       | Some n when n > 0 -> Hashtbl.replace st.pending_mail recipient (n - 1)

@@ -9,4 +9,7 @@
     ([order.aex-resume]), and mailbox receive without a matching send
     ([order.mailbox]). *)
 
+val ids : string list
+(** Every invariant id this pass can report, in catalog order. *)
+
 val check : Sanctorum_telemetry.Event.t list -> Report.violation list

@@ -95,6 +95,13 @@ let retrieve t ~sender =
 
 let wipe t = Array.fill t.slots 0 (Array.length t.slots) Unaccepted
 
+let snapshot t =
+  Array.to_list t.slots
+  |> List.filter_map (function
+       | Unaccepted -> None
+       | Empty who -> Some (who, false)
+       | Full (who, _, _) -> Some (who, true))
+
 let stats t = (t.deposited, t.retrieved, t.rejected)
 
 let pp_sender ppf = function

@@ -36,6 +36,11 @@ val retrieve : t -> sender:sender -> (string * string) Api_error.result
 val wipe : t -> unit
 (** Drop all state (enclave deletion). *)
 
+val snapshot : t -> (sender * bool) list
+(** The accepted slots in slot order as [(sender, full)] pairs —
+    the semantic mailbox state (Fig. 5), without the cumulative
+    operation counters of {!stats}. Read-only. *)
+
 val stats : t -> int * int * int
 (** [(deposited, retrieved, rejected)] operation counts since
     creation. [rejected] counts failed deposits (unaccepted sender,

@@ -410,6 +410,18 @@ let write_pte t ~table_ppn ~vaddr ~level ~pte =
       Hw.Phys_mem.write_u64 (mem t) pte_addr pte;
       ok
 
+(* Probe that the destination PTE slot is free without writing it.
+   Destination validation must happen before [alloc_enclave_page]: the
+   pop mutates [free_pages] and [last_alloc_ppn], so any failure after
+   it would leak a page from a rejected call and break the API's
+   transaction guarantee. *)
+let pte_slot_free t ~table_ppn ~vaddr ~level =
+  let idx = (vaddr lsr (12 + (9 * level))) land 511 in
+  let pte_addr = Hw.Phys_mem.page_base table_ppn + (8 * idx) in
+  match Hw.Page_table.decode_pte (Hw.Phys_mem.read_u64 (mem t) pte_addr) with
+  | Ok _ -> err_state "page-table entry already present"
+  | Error () -> ok
+
 (* Pop the enclave's next physical page, enforcing the ascending-order
    rule that keeps the measurement descriptive (§VI-A). *)
 let alloc_enclave_page e =
@@ -502,21 +514,30 @@ let allocate_page_table t ~caller ~eid ~vaddr ~level =
       else if e.data_loaded then
         err_state "page tables must be initialized before any data"
       else begin
-        let* ppn = alloc_enclave_page e in
-        Hw.Phys_mem.zero_range (mem t) ~pos:(Hw.Phys_mem.page_base ppn) ~len:page;
-        let* () =
+        (* resolve and validate the parent slot before allocating *)
+        let* parent =
           if level = Hw.Page_table.levels - 1 then begin
             match e.root_ppn with
             | Some _ -> err_state "root page table already allocated"
-            | None ->
-                e.root_ppn <- Some ppn;
-                ok
+            | None -> Ok None
           end
-          else begin
+          else
             let* parent = find_table t e ~vaddr ~level:(level + 1) in
-            write_pte t ~table_ppn:parent ~vaddr ~level:(level + 1)
-              ~pte:(Hw.Page_table.encode_pte ~ppn ~perms:pt_perms_none ~valid:true)
-          end
+            let* () =
+              pte_slot_free t ~table_ppn:parent ~vaddr ~level:(level + 1)
+            in
+            Ok (Some parent)
+        in
+        let* ppn = alloc_enclave_page e in
+        Hw.Phys_mem.zero_range (mem t) ~pos:(Hw.Phys_mem.page_base ppn) ~len:page;
+        let* () =
+          match parent with
+          | None ->
+              e.root_ppn <- Some ppn;
+              ok
+          | Some parent ->
+              write_pte t ~table_ppn:parent ~vaddr ~level:(level + 1)
+                ~pte:(Hw.Page_table.encode_pte ~ppn ~perms:pt_perms_none ~valid:true)
         in
         extend_measurement e (fun ctx ->
             Measurement.extend_page_table ctx ~vaddr ~level)
@@ -538,12 +559,14 @@ let load_page t ~caller ~eid ~vaddr ~src_paddr ~r ~w ~x =
       else if Hashtbl.mem e.vmap (vaddr / page) then
         err_state "load_page: virtual page already mapped (aliasing forbidden)"
       else begin
+        (* resolve and validate the leaf slot before allocating *)
+        let* table = find_table t e ~vaddr ~level:0 in
+        let* () = pte_slot_free t ~table_ppn:table ~vaddr ~level:0 in
         let* ppn = alloc_enclave_page e in
         let contents =
           Hw.Phys_mem.read_string (mem t) ~pos:src_paddr ~len:page
         in
         Hw.Phys_mem.write_string (mem t) ~pos:(Hw.Phys_mem.page_base ppn) contents;
-        let* table = find_table t e ~vaddr ~level:0 in
         let perms = Hw.Page_table.{ r; w; x; u = true } in
         let* () =
           write_pte t ~table_ppn:table ~vaddr ~level:0
@@ -1584,6 +1607,11 @@ let thread_info t ~tid =
         i_thread_locked = th.t_lock;
       })
     (Hashtbl.find_opt t.threads tid)
+
+let mailbox_snapshot t ~eid =
+  Option.map
+    (fun e -> Mailbox.snapshot e.mailboxes)
+    (Hashtbl.find_opt t.enclaves eid)
 
 let metadata_slots t =
   Hashtbl.fold (fun addr len acc -> (addr, len) :: acc) t.slots []

@@ -295,6 +295,12 @@ val enclave_info : t -> eid:int -> enclave_info option
 val thread_ids : t -> int list
 val thread_info : t -> tid:int -> thread_info option
 
+val mailbox_snapshot : t -> eid:int -> (Mailbox.sender * bool) list option
+(** The enclave's semantic mailbox state ({!Mailbox.snapshot}):
+    accepted [(sender, full)] pairs in slot order, without the
+    cumulative counters of {!mailbox_stats}. [None] if no such
+    enclave. *)
+
 val metadata_slots : t -> (int * int) list
 (** Claimed metadata slots as sorted [(addr, len)] pairs; all must lie
     inside [[metadata_base, metadata_limit)] and never overlap. *)

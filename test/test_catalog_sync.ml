@@ -1,0 +1,91 @@
+(* The invariant catalog exists in four places: the three analysis
+   passes export the ids they can report (Invariants.ids, Lockcheck.ids,
+   Orderlint.ids), Checker.catalog maps every id to prose, and DESIGN.md
+   §4.1 documents the whole table. These drift independently — a pass
+   gains an id and the doc silently goes stale (exactly what happened to
+   [core.quarantine] before this test existed) — so this suite pins all
+   four to each other. *)
+module A = Sanctorum_analysis
+
+let sorted l = List.sort compare l
+
+let check_same what expected actual =
+  let missing = List.filter (fun id -> not (List.mem id actual)) expected in
+  let extra = List.filter (fun id -> not (List.mem id expected)) actual in
+  if missing <> [] || extra <> [] then
+    Alcotest.failf "%s: missing [%s], extra [%s]" what
+      (String.concat "; " missing)
+      (String.concat "; " extra)
+
+let pass_ids () = A.Invariants.ids @ A.Lockcheck.ids @ A.Orderlint.ids
+let catalog_ids () = List.map fst A.Checker.catalog
+
+(* Pull the ids out of the DESIGN.md §4.1 table: every row looks like
+   [| `some.id` | pass | prose |]. The parse is deliberately narrow —
+   a backquoted dotted identifier in the first column of a table row —
+   so prose mentioning an id elsewhere in the file cannot satisfy it. *)
+let design_md () =
+  (* dune runtest executes from _build/default/test with DESIGN.md
+     staged one level up (the dune [deps] stanza); running the binary
+     by hand from the repo root finds the real file instead *)
+  match
+    List.find_opt Sys.file_exists
+      [ "../DESIGN.md"; "DESIGN.md"; "../../DESIGN.md" ]
+  with
+  | Some p -> p
+  | None -> Alcotest.fail "DESIGN.md not found next to the test binary"
+
+let design_ids () =
+  let ic = open_in (design_md ()) in
+  let ids = ref [] in
+  let in_section = ref false in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.length line >= 4 && String.sub line 0 4 = "### " then
+         in_section := String.length line >= 7 && String.sub line 0 7 = "### 4.1";
+       if !in_section && String.length line > 4 && String.sub line 0 3 = "| `"
+       then
+         match String.index_from_opt line 3 '`' with
+         | Some stop -> ids := String.sub line 3 (stop - 3) :: !ids
+         | None -> ()
+     done
+   with End_of_file -> close_in ic);
+  List.rev !ids
+
+let test_passes_cover_catalog () =
+  check_same "pass ids vs Checker.catalog" (catalog_ids ()) (pass_ids ());
+  Alcotest.(check (list string))
+    "catalog lists pass ids in pass order" (pass_ids ()) (catalog_ids ())
+
+let test_no_duplicates () =
+  let all = pass_ids () in
+  Alcotest.(check int) "no duplicate ids across passes" (List.length all)
+    (List.length (sorted (List.sort_uniq compare all)));
+  let cat = catalog_ids () in
+  Alcotest.(check int) "no duplicate catalog entries" (List.length cat)
+    (List.length (List.sort_uniq compare cat))
+
+let test_design_matches_catalog () =
+  let design = design_ids () in
+  if design = [] then
+    Alcotest.fail "DESIGN.md §4.1 table not found (parser or doc moved)";
+  check_same "DESIGN.md §4.1 vs Checker.catalog" (catalog_ids ()) design
+
+let test_design_order_matches () =
+  (* same rows is not enough: the doc table should list ids in catalog
+     order so readers and the catalog agree on grouping *)
+  Alcotest.(check (list string))
+    "DESIGN.md §4.1 row order" (catalog_ids ()) (design_ids ())
+
+let suite =
+  ( "catalog-sync",
+    [
+      Alcotest.test_case "pass id exports cover the catalog" `Quick
+        test_passes_cover_catalog;
+      Alcotest.test_case "ids are unique" `Quick test_no_duplicates;
+      Alcotest.test_case "DESIGN.md 4.1 matches the catalog" `Quick
+        test_design_matches_catalog;
+      Alcotest.test_case "DESIGN.md 4.1 row order matches" `Quick
+        test_design_order_matches;
+    ] )
