@@ -325,7 +325,8 @@ let cmd_workload backend seed cores enclaves rounds mix fuel quantum
    one OCaml domain each, attested join, policy placement, quarantine
    migration. Exit 1 on any dirty shard or unaccounted job. *)
 let cmd_fleet backend seed shards cores enclaves jobs target mix policy
-    retry_budget batch_rounds faults faulty_shards rogue =
+    retry_budget batch_rounds faults faulty_shards rogue net_faults net_horizon
+    =
   let module Fl = Sanctorum_fleet.Cluster in
   let module W = Sanctorum_workload.Workload in
   let parse_shards what s =
@@ -371,6 +372,13 @@ let cmd_fleet backend seed shards cores enclaves jobs target mix policy
         let targets = if faulty = [] then List.init shards Fun.id else faulty in
         List.map (fun i -> (i, spec)) targets
   in
+  let net =
+    match Sanctorum_fleet.Netfault.parse net_faults with
+    | Ok spec -> spec
+    | Error msg ->
+        Printf.eprintf "sanctorum_demo fleet: --net-faults: %s\n" msg;
+        exit 2
+  in
   let cfg =
     {
       Fl.default with
@@ -387,8 +395,17 @@ let cmd_fleet backend seed shards cores enclaves jobs target mix policy
       batch_rounds;
       faults;
       rogue = parse_shards "--rogue" rogue;
+      net;
+      net_horizon;
     }
   in
+  (* bad numeric flags surface as Invalid_argument from the config
+     validator: a usage error (exit 2), not a dirty run (exit 1) *)
+  (match Fl.validate cfg with
+  | () -> ()
+  | exception Invalid_argument msg ->
+      Printf.eprintf "sanctorum_demo fleet: %s\n" msg;
+      exit 2);
   let r = Fl.run cfg in
   Format.printf "%a@." Fl.pp_outcome r;
   if not r.Fl.r_clean then begin
@@ -930,17 +947,38 @@ let fleet_cmd =
             "Comma-separated shard ids presenting corrupted attestation \
              evidence; they are refused membership and never receive a job.")
   in
+  let net_faults =
+    Arg.(
+      value & opt string ""
+      & info [ "net-faults" ] ~docv:"SPEC"
+          ~doc:
+            "Link-fault spec armed (independently seeded) on both directions \
+             of every cluster<->node link: comma-separated $(b,class:count) \
+             terms over $(b,drop), $(b,dup), $(b,corrupt), $(b,delay), \
+             $(b,reorder), $(b,part), plus explicit partitions \
+             $(b,part\\@START+LEN) in control-plane ticks; $(b,all) is a \
+             preset. Corrupted traffic must be caught by the per-node HMAC; \
+             lost traffic by retransmit; a partitioned node is fenced, its \
+             jobs migrate, and it rejoins only via re-attestation + rekey.")
+  in
+  let net_horizon =
+    Arg.(
+      value & opt int 48
+      & info [ "net-horizon" ] ~docv:"N"
+          ~doc:"Send-index window the per-message link faults land in.")
+  in
   Cmd.v
     (Cmd.info "fleet"
        ~doc:
          "Multi-machine cluster: N independent Machine+SM+OS shards (one \
-          OCaml domain each) behind an attested join protocol and a seeded \
-          load balancer, with quarantine-driven job migration; exit 1 on any \
-          dirty shard or unaccounted job.")
+          OCaml domain each) behind an attested join protocol, a seeded load \
+          balancer, and a reliable session layer over a (optionally hostile) \
+          link, with quarantine-driven job migration; exit 1 on any dirty \
+          shard or unaccounted job, 2 on a bad flag.")
     Term.(
       const cmd_fleet $ backend $ seed $ shards $ cores $ enclaves $ jobs
       $ target $ mix $ policy $ retry_budget $ batch_rounds $ faults
-      $ faulty_shards $ rogue)
+      $ faulty_shards $ rogue $ net_faults $ net_horizon)
 
 let leak_cmd =
   let secret =

@@ -21,4 +21,9 @@ val recv : 'a t -> 'a
 val try_recv : 'a t -> 'a option
 
 val length : 'a t -> int
-(** Messages currently queued (racy outside the sender/receiver). *)
+(** Messages currently queued — a consistent snapshot taken under the
+    channel mutex, so it is exact at the instant it is read. It may be
+    stale by the time the caller acts on it: another domain can send
+    or receive between the read and any decision based on it, so use
+    it for telemetry and tests that have quiesced the other side,
+    never to decide whether {!recv} would block (use {!try_recv}). *)

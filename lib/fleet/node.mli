@@ -1,23 +1,39 @@
 (** One fleet node: a complete, independent [Machine]+SM+OS shard
     wrapped in a {!Sanctorum_workload.Engine}, running in its own
-    domain and speaking the cluster protocol over two {!Channel}s.
+    domain and speaking the cluster protocol over two {!Channel}s —
+    through a {!Netfault} link and a {!Session}, because the link is
+    hostile: messages drop, duplicate, reorder, corrupt, and partition.
 
     Nothing mutable is shared with any other shard — each node boots
     its own simulated machine from its own seed — so the only
-    cross-domain traffic is the message protocol below, and every
-    shard's architectural behaviour is a pure function of
-    [(seed, shard-id, placed jobs)].
+    cross-domain traffic is the message protocol below.
 
     {b Join protocol} (paper Fig. 7, with the cluster as the trusted
-    first party): the cluster sends a nonce and its DH public key; the
-    node installs the canonical signing enclave E_S and a fixed agent
-    enclave on its own monitor, obtains signed evidence over
-    (nonce, channel binding, agent measurement), and replies with the
-    evidence and its own DH public key. Only if the cluster verifies
-    the evidence against the {e independently derived} manufacturer
-    root does the node receive jobs — and every job batch is
-    authenticated with an HMAC under the DH session key, which the
-    node checks before running anything. *)
+    first party): the cluster sends an epoch, a fresh nonce, and its DH
+    public key; the node installs the canonical signing enclave E_S and
+    a fixed agent enclave on its own monitor, obtains signed evidence
+    over (nonce, channel binding, agent measurement), and replies with
+    the evidence and its own DH public key. Only if the cluster
+    verifies the evidence against the {e independently derived}
+    manufacturer root does the node receive jobs. A {e higher-epoch}
+    challenge — a rejoin after the node was fenced off as suspected
+    dead, or a retry after a corrupted handshake — triggers full
+    re-attestation (the enclaves are reinstalled if retired) and a DH
+    rekey; batches queued under the old epoch are discarded, because
+    the cluster has already re-placed them. A {e same-epoch} challenge
+    is a retransmit: the cached reply is resent, never re-attested.
+
+    {b Data plane}: every batch and result travels as a {!Session}
+    frame — sequence-numbered, cumulatively acked, HMAC'd under the
+    epoch's DH key. The session dedups redelivered batches (acked, not
+    re-run), buffers reordered ones, rejects corrupted or stale ones,
+    and retransmits unacked results when the cluster's heartbeats poke
+    it. Mid-crunch the node services its inbox every few engine rounds
+    so a long batch never reads as a dead node.
+
+    {b Teardown} is out-of-band ([Shutdown]/[Bye] bypass the fault
+    layer — the operator console, not the network), so a run
+    terminates under any fault spec. *)
 
 type job_spec = {
   js_jid : int;
@@ -25,19 +41,11 @@ type job_spec = {
   js_target : int;  (** exits per member before the job completes *)
 }
 
-type to_node =
-  | Challenge of { nonce : string; cluster_pub : string }
-  | Batch of { gen : int; jobs : job_spec list; tag : string }
-      (** [tag] = HMAC over {!batch_bytes} under the session key *)
-  | Finish
+type down = Batch of { gen : int; jobs : job_spec list }
+(** cluster -> node session payloads *)
 
-type from_node =
-  | Joined of {
-      jd_node : int;
-      jd_evidence : Sanctorum.Attestation.evidence;
-      jd_node_pub : string;
-    }
-  | Join_failed of { jf_node : int; jf_reason : string }
+(** node -> cluster session payloads *)
+type up =
   | Batch_done of {
       bd_node : int;
       bd_gen : int;
@@ -49,11 +57,27 @@ type from_node =
               for the cluster to re-place *)
       bd_healthy : bool;  (** no core quarantined *)
     }
-  | Batch_rejected of { br_node : int; br_gen : int; br_reason : string }
-  | Final of {
-      fn_node : int;
-      fn_report : Sanctorum_workload.Workload.report;
-      fn_hist : Sanctorum_telemetry.Metrics.histogram;
+
+type to_node =
+  | Challenge of { ch_epoch : int; ch_nonce : string; ch_cluster_pub : string }
+  | Down of down Session.frame
+  | Shutdown  (** out-of-band: answer {!Bye} and exit *)
+
+type from_node =
+  | Joined of {
+      jd_node : int;
+      jd_epoch : int;
+      jd_evidence : Sanctorum.Attestation.evidence;
+      jd_node_pub : string;
+    }
+  | Join_failed of { jf_node : int; jf_epoch : int; jf_reason : string }
+  | Up of up Session.frame
+  | Bye of {
+      bye_node : int;
+      bye_report : Sanctorum_workload.Workload.report;
+      bye_hist : Sanctorum_telemetry.Metrics.histogram;
+      bye_net : (string * int) list;
+          (** this node's [net.*] counters, merged fleet-wide *)
     }
 
 type config = {
@@ -75,6 +99,8 @@ type config = {
   rogue : bool;
       (** present evidence with a corrupted signature — a node
           impersonating a genuine Sanctorum machine *)
+  net : Netfault.spec;  (** faults armed on this node's uplink *)
+  net_horizon : int;
 }
 
 val agent_image : Sanctorum.Image.t
@@ -86,15 +112,24 @@ val batch_bytes : gen:int -> job_spec list -> string
 (** The byte string both sides MAC: generation number and every job
     field. *)
 
+val down_bytes : down -> string
+val up_bytes : up -> string
+(** Canonical MAC inputs for the two session directions. *)
+
+val corrupt_to_node : to_node -> to_node
+val corrupt_from_node : from_node -> from_node
+(** What in-flight corruption does to a message: one flipped tag bit on
+    a session frame, one flipped handshake byte otherwise. Every
+    authenticity check must catch the result. *)
+
 val run :
   ?throttle:Throttle.t ->
   config ->
   inbox:to_node Channel.t ->
   outbox:from_node Channel.t ->
   unit
-(** The domain body: boot, join, serve batches until [Finish], then
-    tear down and send [Final]. Never raises — a protocol-fatal error
-    surfaces as [Join_failed] and an idle wait for [Finish].
+(** The domain body: boot, then serve challenges and batches until an
+    out-of-band [Shutdown], then tear down and send [Bye].
 
     When [throttle] is given, engine boot and batch crunching each take
     a slot, bounding how many shards compute at once (see

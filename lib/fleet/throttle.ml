@@ -6,13 +6,36 @@ let create slots =
 
 let host_parallelism () = max 1 (Domain.recommended_domain_count ())
 
-let with_slot t f =
+let try_acquire t =
   Mutex.lock t.mu;
-  while t.free = 0 do
-    Condition.wait t.cv t.mu
-  done;
-  t.free <- t.free - 1;
+  let got = t.free > 0 in
+  if got then t.free <- t.free - 1;
   Mutex.unlock t.mu;
+  got
+
+let with_slot ?while_waiting t f =
+  (match while_waiting with
+  | None ->
+      Mutex.lock t.mu;
+      while t.free = 0 do
+        Condition.wait t.cv t.mu
+      done;
+      t.free <- t.free - 1;
+      Mutex.unlock t.mu
+  | Some poll ->
+      (* Poll rather than block: a queued node must keep answering
+         heartbeats, or the cluster's failure detector reads slot
+         starvation as death (observed on a 1-core host: every shard
+         but the crunching one was fenced mid-batch). *)
+      (* 2ms between polls: ~1/100th of the cluster's suspicion
+         deadline, so heartbeats stay comfortably fresh, while a
+         waiting domain stays asleep enough not to tax the one that
+         holds the slot (minor GCs are stop-the-world across running
+         domains). *)
+      while not (try_acquire t) do
+        poll ();
+        Unix.sleepf 0.002
+      done);
   Fun.protect f ~finally:(fun () ->
       Mutex.lock t.mu;
       t.free <- t.free + 1;

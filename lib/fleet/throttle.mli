@@ -21,6 +21,14 @@ val create : int -> t
 val host_parallelism : unit -> int
 (** [max 1 (Domain.recommended_domain_count ())]. *)
 
-val with_slot : t -> (unit -> 'a) -> 'a
-(** [with_slot t f] blocks until a slot is free, runs [f], and
-    releases the slot even if [f] raises. *)
+val with_slot : ?while_waiting:(unit -> unit) -> t -> (unit -> 'a) -> 'a
+(** [with_slot t f] waits until a slot is free, runs [f], and releases
+    the slot even if [f] raises.
+
+    Without [while_waiting] the wait blocks on a condition variable.
+    With [while_waiting] the wait polls, invoking the callback between
+    attempts — a fleet node passes its session-servicing step here so
+    that a shard queued behind another shard's crunch keeps answering
+    heartbeats instead of reading as dead to the cluster's failure
+    detector (which would fence it and migrate its batch for no
+    reason). *)

@@ -102,7 +102,32 @@ let test_percentile_resolution () =
   Tel.Metrics.merge ~into:h2 h;
   check_int "merged count" 200 (Tel.Metrics.summary h2).Tel.Metrics.count;
   check_int "merged p50" 639 (Tel.Metrics.percentile h2 0.50);
-  check_int "merged p99" 1000 (Tel.Metrics.percentile h2 0.99)
+  check_int "merged p99" 1000 (Tel.Metrics.percentile h2 0.99);
+  (* the fleet folds per-shard [net.retransmit.delay] histograms the
+     same way. Exponential backoff makes the modes geometrically
+     spaced — base*2^k plus jitter — which is exactly the shape the
+     log-linear buckets are supposed to keep apart through a merge:
+     the percentiles of the union must still resolve distinct backoff
+     generations, not collapse into one saturated bucket. *)
+  let shard_a = Tel.Metrics.create () and shard_b = Tel.Metrics.create () in
+  let ra = Tel.Metrics.histogram shard_a "net.retransmit.delay" in
+  let rb = Tel.Metrics.histogram shard_b "net.retransmit.delay" in
+  (* shard a retried early generations; shard b's peer was deaf longer *)
+  for _ = 1 to 16 do Tel.Metrics.observe ra 24 done;
+  for _ = 1 to 4 do Tel.Metrics.observe ra 48 done;
+  List.iter (Tel.Metrics.observe rb) [ 96; 97; 99; 101; 192; 193; 195; 390 ];
+  Tel.Metrics.merge ~into:ra rb;
+  let s = Tel.Metrics.summary ra in
+  check_int "retransmit union count" 28 s.Tel.Metrics.count;
+  check_int "slowest retry survives the merge" 390 s.Tel.Metrics.max;
+  let rp50 = Tel.Metrics.percentile ra 0.50 in
+  let rp90 = Tel.Metrics.percentile ra 0.90 in
+  let rp99 = Tel.Metrics.percentile ra 0.99 in
+  check_bool "backoff generations stay distinct" true
+    (rp50 < rp90 && rp90 < rp99);
+  check_bool "p50 in the first backoff generations" true
+    (rp50 >= 24 && rp50 <= 64);
+  check_int "p99 clamps to the slowest retry" 390 rp99
 
 (* ------------------------------------------------------------------ *)
 (* A traced end-to-end run shared by the remaining tests. *)
