@@ -63,6 +63,7 @@ let signing_enclave_respond sm ~es_eid ~requester =
           }
       in
       let signature = Crypto.Schnorr.sign key payload in
+      Sanctorum_telemetry.Sink.incr_counter (Sm.sink sm) "crypto.sign";
       Sm.send_mail sm ~caller ~recipient:requester ~msg:signature
 
 let request_attestation sm ~eid ~es_eid ~nonce ~channel_binding =
@@ -140,6 +141,76 @@ let verify_evidence ~root ~expected_measurement ~nonce ~channel_binding e =
         ~signature:e.signature
     then Ok ()
     else Error "attestation signature invalid"
+  end
+
+(* One attestation service sweep verifies many clients' evidence at
+   once: the structural checks stay per item, but every Schnorr check —
+   two certificate signatures and the evidence signature per item — is
+   folded into a single random-linear-combination batch. A bad item is
+   pinpointed by the batch fallback and reported individually. *)
+
+type batch_request = {
+  vr_root : Crypto.Schnorr.public_key;
+  vr_expected_measurement : string;
+  vr_nonce : string;
+  vr_channel_binding : string;
+  vr_evidence : evidence;
+}
+
+let verify_evidence_batch reqs =
+  let reqs = Array.of_list reqs in
+  let n = Array.length reqs in
+  let results = Array.make n (Ok ()) in
+  let claims = ref [] in
+  (* per item: position of its first claim and its certificate count *)
+  let spans = Array.make n None in
+  let next = ref 0 in
+  for i = 0 to n - 1 do
+    let r = reqs.(i) in
+    let e = r.vr_evidence in
+    let structural =
+      if e.nonce <> r.vr_nonce then Error "nonce mismatch"
+      else if e.channel_binding <> r.vr_channel_binding then
+        Error "channel mismatch"
+      else if
+        not
+          (Sanctorum_util.Bytesx.constant_time_equal e.enclave_measurement
+             r.vr_expected_measurement)
+      then Error "enclave measurement mismatch"
+      else begin
+        let* certs = parse_certificates e.certificates in
+        Crypto.Cert.signature_claims ~root:r.vr_root certs
+      end
+    in
+    match structural with
+    | Error msg -> results.(i) <- Error msg
+    | Ok (cert_claims, sm_key) ->
+        let all =
+          cert_claims @ [ (sm_key, attested_payload e, e.signature) ]
+        in
+        spans.(i) <- Some (!next, List.length cert_claims);
+        next := !next + List.length all;
+        claims := List.rev_append all !claims
+  done;
+  if !next = 0 then results
+  else begin
+    let verdicts = Crypto.Schnorr.verify_batch (List.rev !claims) in
+    Array.iteri
+      (fun i span ->
+        match span with
+        | None -> () (* failed structurally; already reported *)
+        | Some (first, ncerts) ->
+            let verdict = ref (Ok ()) in
+            for j = ncerts downto 0 do
+              if not verdicts.(first + j) then
+                verdict :=
+                  Error
+                    (if j < ncerts then "certificate chain signature invalid"
+                     else "attestation signature invalid")
+            done;
+            results.(i) <- !verdict)
+      spans;
+    results
   end
 
 (* ------------------------------------------------------------------ *)

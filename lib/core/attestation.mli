@@ -74,6 +74,22 @@ val verify_evidence :
 (** The trusted first party's check: certificate chain to the root,
     then the signature over the attested payload. *)
 
+type batch_request = {
+  vr_root : Sanctorum_crypto.Schnorr.public_key;
+  vr_expected_measurement : string;
+  vr_nonce : string;
+  vr_channel_binding : string;
+  vr_evidence : evidence;
+}
+
+val verify_evidence_batch :
+  batch_request list -> (unit, string) result array
+(** {!verify_evidence} over many items with every Schnorr check (both
+    certificate signatures and the evidence signature, per item) folded
+    into one {!Sanctorum_crypto.Schnorr.verify_batch} call. Structural
+    failures and pinpointed signature failures are reported per item;
+    the result array is positional. *)
+
 (** {2 End-to-end drivers} *)
 
 val local_attest :

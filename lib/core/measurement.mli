@@ -6,9 +6,29 @@
     contents measure equal — physical placement is deliberately {e not}
     covered. The monitor separately enforces the invariants that make
     the measurement descriptive (ascending physical loads, injective
-    virtual-to-physical mapping, page tables before data). *)
+    virtual-to-physical mapping, page tables before data).
+
+    The context records the extension transcript and hashes it at
+    {!finalize}; with a {!Cache} attached, a transcript measured before
+    returns its digest without re-running SHA3 over enclave memory
+    (measure once, bind many — the churn/fleet install fast path). *)
 
 type t
+
+(** A digest cache keyed by the {e exact} transcript bytes (structural
+    string equality), so a hit can never alias two different images and
+    a one-byte image change is, by construction, a different key. *)
+module Cache : sig
+  type cache
+
+  val create : ?capacity:int -> unit -> cache
+  (** The cache flushes wholesale when [capacity] (default 512) distinct
+      transcripts are held. *)
+
+  val hits : cache -> int
+  val misses : cache -> int
+  val entries : cache -> int
+end
 
 val start : unit -> t
 
@@ -24,8 +44,8 @@ val extend_shared : t -> vaddr:int -> len:int -> unit
 
 val extend_thread : t -> entry_pc:int64 -> entry_sp:int64 -> unit
 
-val finalize : t -> string
+val finalize : ?cache:Cache.cache -> t -> string
 (** The 32-byte enclave measurement. The context cannot be extended
-    afterwards. *)
+    afterwards. The digest is identical with and without a cache. *)
 
 val size : int

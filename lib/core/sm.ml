@@ -63,6 +63,9 @@ type t = {
   mutable resource_lock : bool;
   mutable sink : Tel.Sink.t;
   mutable post_api_hook : (api:string -> unit) option;
+  meas_cache : Measurement.Cache.cache;
+      (* measure-once/bind-many: repeated installs of an identical image
+         skip the SHA3 sweep at init_enclave *)
 }
 
 let binary_image =
@@ -662,8 +665,15 @@ let init_enclave t ~caller ~eid =
           | None -> err_state "measurement already finalized"
           | Some ctx ->
               note_write t ~lock:(enclave_lock_name eid) ~field:"lifecycle";
-              e.measurement <- Some (Measurement.finalize ctx);
+              let hits0 = Measurement.Cache.hits t.meas_cache in
+              e.measurement <-
+                Some (Measurement.finalize ~cache:t.meas_cache ctx);
               e.meas_ctx <- None;
+              if Tel.Sink.enabled t.sink then
+                Tel.Sink.incr_counter t.sink
+                  (if Measurement.Cache.hits t.meas_cache > hits0 then
+                     "measurement.cache.hit"
+                   else "measurement.cache.miss");
               e.lifecycle <- Initialized;
               ok
         end)
@@ -1521,6 +1531,7 @@ let boot ~platform:pf ~identity ~signing_enclave_measurement =
       resource_lock = false;
       sink = Tel.Sink.null;
       post_api_hook = None;
+      meas_cache = Measurement.Cache.create ();
     }
   in
   Hw.Machine.set_trap_handler machine (fun m c cause -> on_trap t m c cause);

@@ -236,9 +236,121 @@ let mod_add a b ~m =
 let mod_sub a b ~m = if compare a b >= 0 then sub a b else sub (add a m) b
 let mod_mul a b ~m = rem (mul a b) m
 
-(* Left-to-right square and multiply. *)
+(* Montgomery multiplication for a fixed odd modulus m of k limbs, with
+   R = 2^(base_bits·k). CIOS (coarsely integrated operand scanning)
+   interleaves the multiply with the reduction, so a full modular
+   multiply is one pass over the limbs and never divides. Residues are
+   ordinary normalized values < m; only their *meaning* (x·R mod m) is
+   Montgomery-specific. *)
+module Mont = struct
+  type ctx = {
+    m : t;
+    mk : int array; (* the modulus as exactly k limbs *)
+    k : int;
+    m' : int; (* -m^-1 mod 2^base_bits *)
+    r2 : t; (* R^2 mod m, for entering Montgomery form *)
+    rone : t; (* R mod m — the Montgomery form of 1 *)
+  }
+
+  let create m =
+    if is_zero m || is_even m then
+      invalid_arg "Bignum.Mont.create: modulus must be odd";
+    let k = Array.length m in
+    let mk = Array.copy m in
+    (* Newton–Hensel iteration for m^-1 mod 2^base_bits: each step
+       doubles the number of correct low bits, 5 steps cover 32 > 26. *)
+    let inv = ref 1 in
+    for _ = 1 to 5 do
+      inv := !inv * (2 - (mk.(0) * !inv)) land mask
+    done;
+    let r = shift_left one (base_bits * k) in
+    { m; mk; k; m' = (base - !inv) land mask; r2 = rem (mul r r) m; rone = rem r m }
+
+  let modulus ctx = ctx.m
+  let one_m ctx = ctx.rone
+
+  let fixed ctx a =
+    if Array.length a > ctx.k then
+      invalid_arg "Bignum.Mont: operand exceeds the modulus width";
+    let r = Array.make ctx.k 0 in
+    Array.blit a 0 r 0 (Array.length a);
+    r
+
+  let geq (a : int array) (b : int array) k =
+    let rec go i =
+      if i < 0 then true else if a.(i) <> b.(i) then a.(i) > b.(i) else go (i - 1)
+    in
+    go (k - 1)
+
+  let sub_in_place (a : int array) (b : int array) k =
+    let borrow = ref 0 in
+    for i = 0 to k - 1 do
+      let d = a.(i) - b.(i) - !borrow in
+      if d < 0 then begin
+        a.(i) <- d + base;
+        borrow := 1
+      end
+      else begin
+        a.(i) <- d;
+        borrow := 0
+      end
+    done
+
+  (* r = a·b·R^-1 mod m over k-limb fixed arrays. The running value
+     after each outer step stays below 2m, so one extra bit and a final
+     conditional subtract suffice. *)
+  let cios ctx (a : int array) (b : int array) =
+    let k = ctx.k and mk = ctx.mk in
+    let r = Array.make k 0 in
+    let extra = ref 0 in
+    for i = 0 to k - 1 do
+      let ai = a.(i) in
+      let carry = ref 0 in
+      for j = 0 to k - 1 do
+        let acc = r.(j) + (ai * b.(j)) + !carry in
+        r.(j) <- acc land mask;
+        carry := acc lsr base_bits
+      done;
+      let hi = !extra + !carry in
+      let u = r.(0) * ctx.m' land mask in
+      carry := (r.(0) + (u * mk.(0))) lsr base_bits;
+      for j = 1 to k - 1 do
+        let acc = r.(j) + (u * mk.(j)) + !carry in
+        r.(j - 1) <- acc land mask;
+        carry := acc lsr base_bits
+      done;
+      let hi = hi + !carry in
+      r.(k - 1) <- hi land mask;
+      extra := hi lsr base_bits
+    done;
+    if !extra <> 0 || geq r mk k then sub_in_place r mk k;
+    r
+
+  let mont_mul ctx a b = normalize (cios ctx (fixed ctx a) (fixed ctx b))
+  let of_mont ctx a = normalize (cios ctx (fixed ctx a) (fixed ctx one))
+
+  let to_mont ctx a =
+    normalize (cios ctx (fixed ctx (rem a ctx.m)) (fixed ctx ctx.r2))
+
+  let mod_mul ctx a b = of_mont ctx (mont_mul ctx (to_mont ctx a) (to_mont ctx b))
+
+  (* Plain-domain base and result; the square-and-multiply walk happens
+     entirely in Montgomery form, so no step divides. *)
+  let mont_exp ctx b e =
+    let bm = fixed ctx (to_mont ctx b) in
+    let acc = ref (fixed ctx ctx.rone) in
+    for i = bit_length e - 1 downto 0 do
+      acc := cios ctx !acc !acc;
+      if test_bit e i then acc := cios ctx !acc bm
+    done;
+    normalize (cios ctx !acc (fixed ctx one))
+end
+
+(* Left-to-right square and multiply; odd moduli go through a Montgomery
+   context so the walk is division-free. *)
 let mod_exp b e ~m =
   if equal m one then zero
+  else if not (is_even m) then Mont.mont_exp (Mont.create m) b e
   else begin
     let b = rem b m in
     let r = ref one in
@@ -329,27 +441,35 @@ let is_probable_prime ?(rounds = 16) n =
   if compare n two < 0 then false
   else if equal n two then true
   else if is_even n then false
+  else if compare n (of_int 5) < 0 then true (* 3: no witness range exists *)
   else begin
     (* n - 1 = d * 2^s *)
     let n1 = sub n one in
     let rec split d s = if is_even d then split (shift_right d 1) (s + 1) else (d, s) in
     let d, s = split n1 0 in
-    let n3 = sub n (of_int 3) in
-    (* Deterministic witnesses from a simple LCG over the value's own hex. *)
-    let seed = ref (Hashtbl.hash (to_hex n) land 0x3fffffff) in
-    let next () =
-      seed := ((!seed * 1103515245) + 12345) land 0x3fffffff;
-      !seed
+    let n2 = sub n two in
+    (* Deterministic witnesses in [2, n-2], derived with SHA3 over the
+       value's own bytes. The previous scheme seeded an LCG with
+       [Hashtbl.hash] of the hex string, which is not stable across
+       OCaml versions or flag sets; this one is reproducible anywhere. *)
+    let nb = to_bytes_be ~len:((bit_length n + 7) / 8) n in
+    let witness i =
+      let h =
+        Sha3.shake256
+          ~len:(String.length nb + 8)
+          (Printf.sprintf "sanctorum-mr-witness-%d:" i ^ nb)
+      in
+      add (rem (of_bytes_be h) (sub n2 one)) two
     in
-    let witness () = add (rem (of_int (next ())) (add n3 one)) two in
+    let mctx = Mont.create n in
     let composite_witness a =
-      let x = ref (mod_exp a d ~m:n) in
+      let x = ref (Mont.mont_exp mctx a d) in
       if equal !x one || equal !x n1 then false
       else begin
         let rec loop i =
           if i >= s - 1 then true
           else begin
-            x := mod_mul !x !x ~m:n;
+            x := Mont.mod_mul mctx !x !x;
             if equal !x n1 then false else loop (i + 1)
           end
         in
@@ -358,7 +478,7 @@ let is_probable_prime ?(rounds = 16) n =
     in
     let rec trial i =
       if i = rounds then true
-      else if composite_witness (witness ()) then false
+      else if composite_witness (witness i) then false
       else trial (i + 1)
     in
     trial 0

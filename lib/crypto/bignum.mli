@@ -64,8 +64,44 @@ val mod_inv : t -> m:t -> t
 (** Modular inverse by the extended Euclidean algorithm. Raises
     [Invalid_argument] if no inverse exists. *)
 
+(** Montgomery multiplication for a fixed odd modulus. A context
+    precomputes everything the CIOS reduction needs, after which a
+    modular multiply is a single limb pass with no division — the
+    throughput tier under the attestation field and exponentiations.
+
+    Montgomery residues are ordinary values [< modulus]; [to_mont] maps
+    [x] to [x·R mod m] and [of_mont] maps back ([R = 2^(26·k)] for a
+    [k]-limb modulus). *)
+module Mont : sig
+  type ctx
+
+  val create : t -> ctx
+  (** Raises [Invalid_argument] if the modulus is even or zero. *)
+
+  val modulus : ctx -> t
+
+  val one_m : ctx -> t
+  (** The Montgomery form of 1, i.e. [R mod m]. *)
+
+  val to_mont : ctx -> t -> t
+  (** Reduces its argument mod [m] first, so any value is accepted. *)
+
+  val of_mont : ctx -> t -> t
+  val mont_mul : ctx -> t -> t -> t
+  (** Montgomery product of two residues: [a·b·R^-1 mod m]. *)
+
+  val mont_exp : ctx -> t -> t -> t
+  (** [mont_exp ctx b e] is [b^e mod m] with plain-domain base and
+      result; the walk happens in Montgomery form. *)
+
+  val mod_mul : ctx -> t -> t -> t
+  (** Plain-domain modular product via one round trip through
+      Montgomery form; division-free drop-in for {!Bignum.mod_mul}. *)
+end
+
 val is_probable_prime : ?rounds:int -> t -> bool
-(** Miller–Rabin with deterministically derived witnesses. *)
+(** Miller–Rabin with witnesses derived deterministically from SHA3 over
+    the value's bytes (reproducible across OCaml versions). *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints in hexadecimal. *)

@@ -45,6 +45,14 @@ let verify_chain ~root certs =
   in
   match certs with [] -> Error "Cert: empty chain" | _ -> go root certs
 
+let signature_claims ~root certs =
+  let rec go key acc = function
+    | [] -> Ok (List.rev acc, key)
+    | c :: rest ->
+        go c.subject_key ((key, to_be_signed c, c.signature) :: acc) rest
+  in
+  match certs with [] -> Error "Cert: empty chain" | _ -> go root [] certs
+
 let serialize t = to_be_signed t ^ field t.signature
 
 let deserialize s =

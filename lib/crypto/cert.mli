@@ -33,6 +33,15 @@ val verify_chain :
     certificate is verified with the previous subject key, the first
     with [root]. Returns the final subject key on success. *)
 
+val signature_claims :
+  root:Schnorr.public_key ->
+  t list ->
+  ((Schnorr.public_key * string * string) list * Schnorr.public_key, string)
+  result
+(** The [(issuer key, message, signature)] triples {!verify_chain} would
+    check, plus the chain's leaf key — without verifying anything. Lets
+    a caller fold many chains into one {!Schnorr.verify_batch} call. *)
+
 val serialize : t -> string
 val deserialize : string -> (t, string) result
 

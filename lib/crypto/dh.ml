@@ -3,7 +3,7 @@ type public = Curve.point
 
 let generate rng =
   let s = Drbg.random_scalar rng ~m:Curve.order in
-  (s, Curve.scalar_mul s Curve.base)
+  (s, Curve.scalar_mul_base s)
 
 let public_to_bytes = Curve.encode
 let public_of_bytes = Curve.decode

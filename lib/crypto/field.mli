@@ -1,7 +1,8 @@
 (** The prime field GF(2^255 - 19), used by the attestation curve.
 
-    Built on {!Bignum} with a specialized fold reduction (2^255 ≡ 19)
-    instead of generic division on the hot path. *)
+    Elements are kept in Montgomery form through a {!Bignum.Mont}
+    context, so a field multiply is one division-free CIOS pass.
+    Conversions happen only at the byte/bignum boundary. *)
 
 type t
 

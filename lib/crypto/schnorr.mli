@@ -7,11 +7,18 @@
     message) remove the catastrophic nonce-reuse failure mode. *)
 
 type secret_key
+
 type public_key
+(** Carries a use counter and a lazily built fixed-base window table, so
+    verifying repeatedly against the same long-lived key (the signing
+    enclave's, a manufacturer root's) amortizes to a table walk. The
+    caching is invisible: signatures and verdicts are byte-identical
+    with or without it. *)
 
 val secret_key_of_seed : string -> secret_key
 (** Derive a key pair deterministically from seed bytes (the secure boot
-    protocol derives the monitor's key this way). *)
+    protocol derives the monitor's key this way). The public half is
+    computed once here and cached. *)
 
 val public_key : secret_key -> public_key
 
@@ -28,5 +35,23 @@ val sign : secret_key -> string -> string
 (** [sign sk msg] is a [signature_size]-byte signature. *)
 
 val verify : public_key -> msg:string -> signature:string -> bool
+
+val verify_reference : public_key -> msg:string -> signature:string -> bool
+(** The pre-optimization verifier: plain double-and-add over the
+    schoolbook division-per-product field
+    ({!Curve.scalar_mul_schoolbook}), no tables, no cached state — the
+    tier every evidence verification went through before the
+    throughput work. Kept as the oracle for differential tests and the
+    before/after benchmark. Agrees with {!verify} on every input. *)
+
+val verify_batch :
+  ?seed:string -> (public_key * string * string) list -> bool array
+(** [verify_batch items] checks N [(pk, msg, signature)] triples with
+    one random-linear-combination curve equation (coefficients derived
+    from the whole batch, so items cannot cancel each other). The
+    result array is positional. If the combined check fails, every item
+    is re-verified individually, so bad items are pinpointed and good
+    items in a poisoned batch still verify. [seed] adds caller-side
+    entropy to the coefficient derivation. *)
 
 val pp_public_key : Format.formatter -> public_key -> unit

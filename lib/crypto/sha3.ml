@@ -89,17 +89,40 @@ let state_byte st idx =
   let lane = idx / 8 and shift = 8 * (idx mod 8) in
   Int64.to_int (Int64.shift_right_logical st.(lane) shift) land 0xff
 
+let absorb_byte t byte =
+  xor_byte_into_state t.state t.pos byte;
+  t.pos <- t.pos + 1;
+  if t.pos = t.rate then begin
+    keccak_f t.state;
+    t.pos <- 0
+  end
+
+(* Absorbing dominates the measurement hot path, so whole 64-bit lanes
+   are XORed in at once whenever the sponge position is lane-aligned
+   (every supported rate is a multiple of 8, so alignment persists).
+   Stray leading/trailing bytes fall back to the byte-at-a-time path. *)
 let absorb t data =
   if t.finalized then invalid_arg "Sha3.absorb: context already finalized";
-  String.iter
-    (fun c ->
-      xor_byte_into_state t.state t.pos (Char.code c);
-      t.pos <- t.pos + 1;
-      if t.pos = t.rate then begin
-        keccak_f t.state;
-        t.pos <- 0
-      end)
-    data
+  let n = String.length data in
+  let i = ref 0 in
+  while !i < n && t.pos land 7 <> 0 do
+    absorb_byte t (Char.code (String.unsafe_get data !i));
+    incr i
+  done;
+  while n - !i >= 8 do
+    let lane = t.pos lsr 3 in
+    t.state.(lane) <- Int64.logxor t.state.(lane) (String.get_int64_le data !i);
+    t.pos <- t.pos + 8;
+    i := !i + 8;
+    if t.pos = t.rate then begin
+      keccak_f t.state;
+      t.pos <- 0
+    end
+  done;
+  while !i < n do
+    absorb_byte t (Char.code (String.unsafe_get data !i));
+    incr i
+  done
 
 let finalize t ~len =
   if t.finalized then invalid_arg "Sha3.finalize: context already finalized";

@@ -169,6 +169,8 @@ let run cfg =
   and c_evicted = ctr "nodes.evicted"
   and c_verified = ctr "attest.verified"
   and c_rejected = ctr "attest.rejected" in
+  let c_crypto_verify = Tel.Metrics.counter metrics "crypto.verify"
+  and c_crypto_batch = Tel.Metrics.counter metrics "crypto.batch_verify" in
   (* Pre-resolved handles: the event loop bumps these on its hot path,
      so each is resolved to a record once, never by name. *)
   let c_retx = nctr "retransmits"
@@ -346,23 +348,29 @@ let run cfg =
     if p.p_tries <= 0 then p.p_phase <- Dead
     else challenge p ~epoch:(p.p_epoch + 1)
   in
-  let handle_joined p ~jd_epoch ~jd_evidence ~jd_node_pub =
-    if jd_epoch <> p.p_epoch || (p.p_phase <> Joining && p.p_phase <> Fenced)
+  (* Join replies are collected during the sweep and verified together
+     at the end of it: one random-linear-combination batch covers every
+     candidate's certificate chain and evidence signature, and the
+     per-item fallback pinpoints any rogue among honest joiners. All
+     per-candidate guards, commits and rejections are unchanged — only
+     the Schnorr arithmetic is batched. *)
+  let pending_joins = ref [] in
+  let collect_joined p ~jd_epoch ~jd_evidence ~jd_node_pub =
+    if
+      jd_epoch <> p.p_epoch
+      || (p.p_phase <> Joining && p.p_phase <> Fenced)
+      || List.exists (fun (q, _, _) -> q.p_id = p.p_id) !pending_joins
     then
-      (* a reply for an epoch that already moved on (or a duplicate
-         after establishment) dies at this guard — counted, so a
-         corrupted handshake frame never vanishes untallied *)
+      (* a reply for an epoch that already moved on (a duplicate after
+         establishment, or a second reply in one sweep) dies at this
+         guard — counted, so a corrupted handshake frame never
+         vanishes untallied *)
       Tel.Metrics.incr c_stale
-    else begin
-      let root =
-        C.Schnorr.public_key (B.manufacturer_root ~seed:(shard_seed cfg p.p_id))
-      in
-      let channel_binding = C.Sha3.sha3_256 (jd_node_pub ^ p.p_pub_bytes) in
-      match
-        ( A.verify_evidence ~root ~expected_measurement ~nonce:p.p_nonce
-            ~channel_binding jd_evidence,
-          C.Dh.public_of_bytes jd_node_pub )
-      with
+    else pending_joins := (p, jd_evidence, jd_node_pub) :: !pending_joins
+  in
+  let commit_joined p ~jd_node_pub verdict =
+    begin
+      match (verdict, C.Dh.public_of_bytes jd_node_pub) with
       | Ok (), Ok node_public ->
           Tel.Metrics.incr c_verified;
           Session.set_key p.p_session ~epoch:p.p_epoch
@@ -396,6 +404,34 @@ let run cfg =
       | _ -> join_reject p
     end
   in
+  let flush_joins () =
+    match List.rev !pending_joins with
+    | [] -> ()
+    | candidates ->
+        pending_joins := [];
+        Tel.Metrics.incr c_crypto_batch;
+        let reqs =
+          List.map
+            (fun (p, jd_evidence, jd_node_pub) ->
+              {
+                A.vr_root =
+                  C.Schnorr.public_key
+                    (B.manufacturer_root ~seed:(shard_seed cfg p.p_id));
+                A.vr_expected_measurement = expected_measurement;
+                A.vr_nonce = p.p_nonce;
+                A.vr_channel_binding =
+                  C.Sha3.sha3_256 (jd_node_pub ^ p.p_pub_bytes);
+                A.vr_evidence = jd_evidence;
+              })
+            candidates
+        in
+        let verdicts = A.verify_evidence_batch reqs in
+        List.iteri
+          (fun i (p, _, jd_node_pub) ->
+            Tel.Metrics.incr c_crypto_verify;
+            commit_joined p ~jd_node_pub verdicts.(i))
+          candidates
+  in
   let record_up p up =
     match up with
     | Node.Batch_done { bd_gen; _ } -> (
@@ -412,7 +448,7 @@ let run cfg =
           progress := true;
           (match msg with
           | Node.Joined { jd_epoch; jd_evidence; jd_node_pub; _ } ->
-              handle_joined p ~jd_epoch ~jd_evidence ~jd_node_pub
+              collect_joined p ~jd_epoch ~jd_evidence ~jd_node_pub
           | Node.Join_failed { jf_epoch; _ } ->
               if
                 jf_epoch = p.p_epoch
@@ -605,6 +641,7 @@ let run cfg =
     incr tick;
     progress := false;
     List.iter drain_peer peers;
+    flush_joins ();
     if net_enabled then List.iter net_timers peers;
     List.iter
       (fun p ->

@@ -15,14 +15,6 @@ let create machine =
       Hw.Pmp.set_entry c.Hw.Machine.pmp ~index:0 ~lo:0
         ~hi:Platform.sm_memory_bytes ~r:false ~w:false ~x:false ~locked:true)
     (Hw.Machine.cores machine);
-  let enclave_domains = ref [] in
-  let note_domain d =
-    if
-      d <> Hw.Trap.domain_sm
-      && d <> Hw.Trap.domain_untrusted
-      && not (List.mem d !enclave_domains)
-    then enclave_domains := d :: !enclave_domains
-  in
   let program_pmp (core : Hw.Machine.core) domain =
     let pmp = core.Hw.Machine.pmp in
     for i = 1 to Hw.Pmp.count pmp - 1 do
@@ -38,21 +30,22 @@ let create machine =
       end
       else overflow := true
     in
+    (* One pass over the owner map classifies every range: another
+       enclave's memory is a deny, the incoming domain's own memory an
+       allow. Only live ownership matters, so the walk costs the same
+       however many enclaves have come and gone — a cumulative
+       per-domain list here once made long churn runs quadratic. *)
+    let denies = ref [] and allows = ref [] in
+    Owner_map.iter_ranges owners (fun ~lo ~hi ~domain:d ->
+        if d <> Hw.Trap.domain_sm && d <> Hw.Trap.domain_untrusted then
+          if d = domain then allows := (lo, hi) :: !allows
+          else denies := (lo, hi) :: !denies);
     (* Security-critical entries first: every other enclave's ranges
        are denied. If the entry budget overflows, dropped entries must
        be denies of the lowest-priority kind, never silent allows. *)
-    List.iter
-      (fun d ->
-        if d <> domain then
-          List.iter
-            (fun (lo, hi) -> add ~lo ~hi ~allow:false)
-            (Owner_map.domain_ranges owners d))
-      !enclave_domains;
+    List.iter (fun (lo, hi) -> add ~lo ~hi ~allow:false) (List.rev !denies);
     (* Then the incoming domain's own ranges. *)
-    if domain <> Hw.Trap.domain_untrusted then
-      List.iter
-        (fun (lo, hi) -> add ~lo ~hi ~allow:true)
-        (Owner_map.domain_ranges owners domain);
+    List.iter (fun (lo, hi) -> add ~lo ~hi ~allow:true) (List.rev !allows);
     (* Lowest priority: OS-shared memory stays reachable — but only
        when every deny fitted. On overflow the core fails closed: with
        no background entry, unmatched U/S accesses are denied, so
@@ -92,7 +85,6 @@ let create machine =
       Error "keystone: grants are page-aligned ranges"
     else if hi > mem_bytes then Error "keystone: range beyond physical memory"
     else begin
-      note_domain domain;
       Owner_map.set_range owners ~lo ~hi domain;
       (* Cores currently inside a domain see the new white-list at
          once, as a real monitor would re-program PMP under a lock. *)

@@ -41,6 +41,16 @@ let range_owned_by t ~lo ~hi domain =
 
 let pages t = Array.length t.owners
 
+let iter_ranges t f =
+  let n = Array.length t.owners in
+  let lo = ref 0 in
+  for p = 1 to n do
+    if p = n || t.owners.(p) <> t.owners.(!lo) then begin
+      f ~lo:(!lo * page) ~hi:(p * page) ~domain:t.owners.(!lo);
+      lo := p
+    end
+  done
+
 let domain_ranges t domain =
   let n = Array.length t.owners in
   let rec scan p acc current =

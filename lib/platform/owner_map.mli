@@ -21,3 +21,10 @@ val pages : t -> int
 val domain_ranges : t -> Sanctorum_hw.Trap.domain -> (int * int) list
 (** Maximal contiguous [lo, hi) byte ranges owned by a domain, in
     ascending order. *)
+
+val iter_ranges :
+  t -> (lo:int -> hi:int -> domain:Sanctorum_hw.Trap.domain -> unit) -> unit
+(** One pass over the whole map: [f] is called once per maximal
+    same-owner [lo, hi) byte range, in ascending address order. Lets a
+    caller rebuild its view of every domain at once without paying one
+    {!domain_ranges} scan per domain. *)

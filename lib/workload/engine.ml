@@ -50,6 +50,8 @@ type report = {
   rp_free_units_boot : int;
   rp_free_units_end : int;
   rp_reclaimed : bool;
+  rp_meas_cache_hits : int;
+  rp_meas_cache_misses : int;
 }
 
 type member = {
@@ -391,6 +393,14 @@ let finish t =
     free_end = t.free0 && S.enclaves t.sm = [] && S.thread_ids t.sm = []
   in
   let rate v = if t.wall_s > 0. then float_of_int v /. t.wall_s else 0. in
+  let counter n =
+    match Tel.Sink.metrics t.sink with
+    | None -> 0
+    | Some m -> (
+        match Tel.Metrics.find m n with
+        | Some (Tel.Metrics.Counter c) -> Tel.Metrics.value c
+        | _ -> 0)
+  in
   {
     rp_mix = t.cfg.mix;
     rp_seed = t.cfg.seed;
@@ -424,4 +434,6 @@ let finish t =
     rp_free_units_boot = t.free0;
     rp_free_units_end = free_end;
     rp_reclaimed = reclaimed;
+    rp_meas_cache_hits = counter "measurement.cache.hit";
+    rp_meas_cache_misses = counter "measurement.cache.miss";
   }

@@ -76,6 +76,9 @@ type report = {
   rp_reclaimed : bool;
       (** end-state is clean: no enclaves, no threads, and the OS free
           pool back at its boot value *)
+  rp_meas_cache_hits : int;
+      (** monitor measurement-cache hits ([measurement.cache.hit]) *)
+  rp_meas_cache_misses : int;
 }
 
 type t

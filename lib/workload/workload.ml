@@ -64,6 +64,8 @@ type report = Engine.report = {
   rp_free_units_boot : int;
   rp_free_units_end : int;
   rp_reclaimed : bool;
+  rp_meas_cache_hits : int;
+  rp_meas_cache_misses : int;
 }
 
 (* The closed loop is the engine driven in its unbounded mode: the
