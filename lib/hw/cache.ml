@@ -121,6 +121,29 @@ let access t ~paddr =
   if access_hit t ~paddr then (true, t.cfg.hit_cycles)
   else (false, t.cfg.miss_cycles)
 
+(* Account [n] further hits on the line of [paddr], which must have
+   been the target of the immediately preceding access on this cache
+   with nothing touched in between — the superblock tier batches
+   consecutive same-line instruction fetches and flushes them here.
+   Each repeat of [access_hit] would advance the tick and stamp the
+   line with it; only the final stamp is observable when no other
+   access intervenes, so one batched update leaves tick, LRU order and
+   statistics bit-identical to [n] sequential calls. *)
+let note_repeat_hits t ~paddr ~n =
+  if n > 0 then begin
+    let si =
+      if t.default_index then (paddr lsr t.line_shift) land t.set_mask
+      else t.index_fn paddr land t.set_mask
+    in
+    let set = t.lines.(si) in
+    let l = set.(t.mru.(si)) in
+    (* the precondition makes the batched line this set's MRU way *)
+    assert (l.valid && l.tag = paddr lsr t.line_shift);
+    t.tick <- t.tick + n;
+    l.lru <- t.tick;
+    t.hits <- t.hits + n
+  end
+
 let probe t ~paddr =
   let set = t.lines.(t.index_fn paddr land (t.cfg.sets - 1)) in
   let tag = tag_of t paddr in

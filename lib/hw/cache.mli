@@ -38,6 +38,16 @@ val access_hit : t -> paddr:int -> bool
     returns only whether the access hit. The caller derives the cycle
     cost from {!config} ([hit_cycles] / [miss_cycles]). *)
 
+val note_repeat_hits : t -> paddr:int -> n:int -> unit
+(** [note_repeat_hits t ~paddr ~n] accounts [n] additional consecutive
+    hits on the line holding [paddr]. Precondition: that line was the
+    target of the immediately preceding access on this cache and
+    nothing else has been accessed since (checked by an assertion on
+    the MRU way). Under that precondition the result — tick, LRU
+    order, statistics — is bit-identical to [n] sequential
+    {!access_hit} calls; the superblock tier uses it to flush a batch
+    of same-line instruction fetches in O(1). *)
+
 val probe : t -> paddr:int -> bool
 (** Non-destructive lookup: would this access hit? (Used by attack
     oracles in tests; real attackers must use {!access} timing.) *)

@@ -49,6 +49,12 @@ type hw_counters = {
   c_instret : Tel.Metrics.counter;
   c_ecc_corrected : Tel.Metrics.counter;
   c_ecc_uncorrectable : Tel.Metrics.counter;
+  (* host-side superblock diagnostics, the hw.sb. family: not
+     architectural, so the one counter family allowed to differ across
+     tiers *)
+  c_sb_blocks : Tel.Metrics.counter;
+  c_sb_instret : Tel.Metrics.counter;
+  c_sb_side_exits : Tel.Metrics.counter;
 }
 
 (* Per-core fetch-translation cache: the last successful instruction
@@ -70,6 +76,55 @@ type fetch_state = {
    is bit-identical to a fresh decode. *)
 type dslot = Dempty | Dinstr of Isa.t | Dbad of int32
 
+(* ---- Superblock tier: representation -------------------------------
+
+   One [sb_page] per physical page of code: an array with one compiled
+   closure per 4-byte slot. A closure executes its instruction with the
+   exact (deferred) accounting [step] would pay and returns the next
+   slot to run within the same page, or -1 to leave the block after
+   storing the resume PC in [sx_exit_pc]. Slots start out as a shared
+   build closure that compiles itself on first execution. [sb_alive]
+   lets a block notice that a store it just committed shot down its own
+   page (the write hook drops the page from the machine's table, but
+   the running block still holds the array). *)
+
+type sb_ctx = {
+  sx_core : core;
+  mutable sx_page : sb_page;
+  mutable sx_vbase : int64;
+      (* virtual address of the page's slot 0 at entry (PC minus the
+         in-page offset), alias bits included: all in-block PCs, link
+         values and exit PCs derive from it *)
+  mutable sx_paging : bool;  (* satp active at entry *)
+  mutable sx_epoch : int;  (* [phys_epoch] at entry *)
+  mutable sx_gen : int;  (* [Tlb.generation] at entry *)
+  mutable sx_fuel : int;
+  mutable sx_exit_pc : int64;
+  mutable sx_dslot : int;  (* TLB slot of the last successful data probe *)
+  (* deferred-but-exact accounting: accumulated here, flushed once at
+     block exit *)
+  mutable sx_cycles : int;
+  mutable sx_instret : int;
+  mutable sx_fetch_notes : int;  (* deferred fetch [Tlb.note_hit]s *)
+  mutable sx_tlb_ctr : int;  (* deferred telemetry hw.tlb.hits *)
+  mutable sx_l1h : int;
+  mutable sx_l1m : int;
+  mutable sx_l2h : int;
+  mutable sx_l2m : int;
+  (* batch of consecutive same-line fetch hits, flushed via
+     [Cache.note_repeat_hits] before any other cache-model access *)
+  mutable sx_line : int;  (* line tag; -1 = no open batch *)
+  mutable sx_line_paddr : int;
+  mutable sx_line_rep : int;
+  sx_hit_plus1 : int;  (* L1 hit cycles + the dispatch cycle *)
+  mutable sx_side_exit : bool;  (* ended on a guard miss / trap handoff *)
+}
+
+and sb_page = {
+  sb_code : (sb_ctx -> int -> int) array;
+  mutable sb_alive : bool;
+}
+
 type t = {
   mem : Phys_mem.t;
   cores : core array;
@@ -77,7 +132,15 @@ type t = {
   cfg : config;
   fetch : fetch_state array;  (* indexed by core id *)
   decode_pages : dslot array option array;  (* indexed by physical page *)
+  sb_pages : sb_page option array;  (* indexed by physical page *)
+  sb_ctxs : sb_ctx array;  (* indexed by core id *)
+  l1_shift : int;  (* log2 of the L1 line size: fetch-batch line tags *)
   mutable fast_path : bool;
+  mutable superblock : bool;
+  mutable phys_epoch : int;
+      (* bumped on every protection change ([set_phys_check],
+         [note_protection_change]): the superblock guard that covers
+         the phys-check inputs no generation counter sees *)
   mutable phys_check : core:core -> access:Trap.access -> paddr:int -> bool;
   mutable pte_fetch_check : core:core -> paddr:int -> bool;
   mutable dma_check : paddr:int -> len:int -> bool;
@@ -107,10 +170,13 @@ let default_config =
     pmp_entries = Pmp.entry_count;
   }
 
-(* Drop every predecoded slot overlapping the dirtied byte range.
-   Fired by the [Phys_mem] write hook on every mutation of the stored
-   bytes, so self-modifying code, DMA, zeroing and injected bit flips
-   can never execute a stale decode. *)
+(* Drop every predecoded slot and compiled superblock page overlapping
+   the dirtied byte range. Fired by the [Phys_mem] write hook on every
+   mutation of the stored bytes, so self-modifying code, DMA, zeroing,
+   ECC absorption and injected bit flips can never execute a stale
+   decode or a stale closure. A superblock page is additionally marked
+   dead so a block that dirtied its own page — the store already
+   committed when the hook fires — exits before running another slot. *)
 let invalidate_decode t ~pos ~len =
   if len > 0 then begin
     let n = Array.length t.decode_pages in
@@ -119,7 +185,12 @@ let invalidate_decode t ~pos ~len =
     let p0 = if p0 < 0 then 0 else p0 in
     let p1 = if p1 >= n then n - 1 else p1 in
     for p = p0 to p1 do
-      t.decode_pages.(p) <- None
+      t.decode_pages.(p) <- None;
+      match t.sb_pages.(p) with
+      | Some sp ->
+          sp.sb_alive <- false;
+          t.sb_pages.(p) <- None
+      | None -> ()
     done
   end
 
@@ -145,15 +216,48 @@ let create cfg =
   let mk_fetch _ =
     { f_valid = false; f_vpn = 0; f_pbase = 0; f_satp = -1; f_gen = 0 }
   in
+  let sb_dead = { sb_code = [||]; sb_alive = false } in
+  let mk_sb_ctx core =
+    {
+      sx_core = core;
+      sx_page = sb_dead;
+      sx_vbase = 0L;
+      sx_paging = false;
+      sx_epoch = 0;
+      sx_gen = 0;
+      sx_fuel = 0;
+      sx_exit_pc = 0L;
+      sx_dslot = -1;
+      sx_cycles = 0;
+      sx_instret = 0;
+      sx_fetch_notes = 0;
+      sx_tlb_ctr = 0;
+      sx_l1h = 0;
+      sx_l1m = 0;
+      sx_l2h = 0;
+      sx_l2m = 0;
+      sx_line = -1;
+      sx_line_paddr = 0;
+      sx_line_rep = 0;
+      sx_hit_plus1 = cfg.l1.Cache.hit_cycles + 1;
+      sx_side_exit = false;
+    }
+  in
+  let cores = Array.init cfg.cores mk_core in
   let t =
     {
       mem = Phys_mem.create ~size:cfg.mem_bytes;
-      cores = Array.init cfg.cores mk_core;
+      cores;
       l2 = Cache.create cfg.l2;
       cfg;
       fetch = Array.init cfg.cores mk_fetch;
       decode_pages = Array.make (cfg.mem_bytes / Phys_mem.page_size) None;
+      sb_pages = Array.make (cfg.mem_bytes / Phys_mem.page_size) None;
+      sb_ctxs = Array.map mk_sb_ctx cores;
+      l1_shift = Sanctorum_util.Bits.log2 cfg.l1.Cache.line_bytes;
       fast_path = true;
+      superblock = true;
+      phys_epoch = 0;
       phys_check = (fun ~core:_ ~access:_ ~paddr:_ -> true);
     pte_fetch_check = (fun ~core:_ ~paddr:_ -> true);
     dma_check = (fun ~paddr:_ ~len:_ -> true);
@@ -180,6 +284,24 @@ let set_fast_path t enabled =
 
 let fast_path t = t.fast_path
 
+let set_superblock t enabled =
+  t.superblock <- enabled;
+  (* Drop every compiled page on disable: a later re-enable recompiles
+     from the (coherent) predecode cache, and marking the pages dead
+     keeps any block re-entered across the toggle honest. *)
+  if not enabled then
+    Array.iteri
+      (fun i p ->
+        match p with
+        | Some sp ->
+            sp.sb_alive <- false;
+            t.sb_pages.(i) <- None
+        | None -> ())
+      t.sb_pages
+
+let superblock t = t.superblock
+let note_protection_change t = t.phys_epoch <- t.phys_epoch + 1
+
 let set_sink t sink =
   t.sink <- sink;
   t.ctrs <-
@@ -199,6 +321,9 @@ let set_sink t sink =
             c_instret = c "hw.instret";
             c_ecc_corrected = c "hw.ecc.corrected";
             c_ecc_uncorrectable = c "hw.ecc.uncorrectable";
+            c_sb_blocks = c "hw.sb.blocks";
+            c_sb_instret = c "hw.sb.instret";
+            c_sb_side_exits = c "hw.sb.side_exits";
           })
 
 let sink t = t.sink
@@ -215,7 +340,9 @@ let active_root_ppns t =
   Array.to_list t.cores
   |> List.filter_map (fun c -> c.satp_root)
   |> List.sort_uniq compare
-let set_phys_check t f = t.phys_check <- f
+let set_phys_check t f =
+  t.phys_check <- f;
+  t.phys_epoch <- t.phys_epoch + 1
 let set_pte_fetch_check t f = t.pte_fetch_check <- f
 let set_dma_check t f = t.dma_check <- f
 let set_trap_handler t f = t.trap_handler <- f
@@ -902,6 +1029,558 @@ let exec_block t core ~fuel =
         if not !wrote_pc then core.pc <- to_pc !pcv;
         !executed
 
+(* ---- Superblock tier: engine ----------------------------------------
+
+   Pre-translated straight-line runs, including loads and stores. Every
+   closure splits into a pure guard phase and a commit phase:
+
+   - guard: the fetch-side isolation check (re-run at every cache-line
+     transition; within a block no monitor code can run, so the pure
+     phys check's inputs are frozen — see [sb_fetch_ok]) and, for
+     memory ops, every check [translate_exn]/[data_access] would make,
+     plus the epoch/generation/interrupt/timer/fault-hook guards. The
+     guard phase mutates nothing, so a side exit leaves architectural
+     state bit-identical to never having entered the block and the
+     stepped path replays the instruction — and raises the precise
+     trap — from scratch.
+
+   - commit: the access in [step]'s exact order — fetch TLB note,
+     fetch cache charge (batched per line), the dispatch cycle, data
+     TLB hit, data cache charge, bytes, registers, retire — with
+     cycles / instret / TLB notes / telemetry accumulated in the
+     per-core [sb_ctx] and flushed once at block exit. Batching is the
+     only reordering, and [Cache.note_repeat_hits] makes it exact:
+     consecutive same-line fetch hits with nothing in between collapse
+     to one update with bit-identical tick/LRU/stats. *)
+
+let sb_slots = Phys_mem.page_size / 4
+let sb_page_size64 = Int64.of_int Phys_mem.page_size
+let sb_va_limit = Int64.shift_left 1L Page_table.vpn_bits
+
+(* Side-exit before any effect: resume at the guarded instruction. *)
+let sb_side_exit ctx slot =
+  ctx.sx_exit_pc <- Int64.add ctx.sx_vbase (Int64.of_int (slot lsl 2));
+  ctx.sx_side_exit <- true;
+  -1
+
+(* End the block after a committed instruction; [pc] is architectural. *)
+let sb_exit_at ctx pc =
+  ctx.sx_exit_pc <- pc;
+  -1
+
+let sb_flush_line (core : core) ctx =
+  if ctx.sx_line_rep > 0 then begin
+    Cache.note_repeat_hits core.l1 ~paddr:ctx.sx_line_paddr ~n:ctx.sx_line_rep;
+    ctx.sx_l1h <- ctx.sx_l1h + ctx.sx_line_rep;
+    ctx.sx_line_rep <- 0
+  end;
+  ctx.sx_line <- -1
+
+(* First fetch from a new cache line: flush the previous batch, pay the
+   real cache-model access, open a new batch. Adds the fetch cost plus
+   the dispatch cycle. *)
+let sb_fetch_transition t (core : core) ctx ~paddr ~line =
+  sb_flush_line core ctx;
+  let cost =
+    if Cache.access_hit core.l1 ~paddr then begin
+      ctx.sx_l1h <- ctx.sx_l1h + 1;
+      t.cfg.l1.Cache.hit_cycles
+    end
+    else begin
+      let l2_hit = Cache.access_hit t.l2 ~paddr in
+      ctx.sx_l1m <- ctx.sx_l1m + 1;
+      if l2_hit then ctx.sx_l2h <- ctx.sx_l2h + 1
+      else ctx.sx_l2m <- ctx.sx_l2m + 1;
+      t.cfg.l1.Cache.miss_cycles
+      + if l2_hit then t.cfg.l2.Cache.hit_cycles else t.cfg.l2.Cache.miss_cycles
+    end
+  in
+  ctx.sx_cycles <- ctx.sx_cycles + cost + 1;
+  ctx.sx_line <- line;
+  ctx.sx_line_paddr <- paddr
+
+(* Fetch-side guard. The physical-isolation check is pure (the
+   [set_phys_check] contract) and its inputs — PMP entries, the owner
+   map, the core's domain — are only ever changed by monitor code,
+   which cannot run inside a block (every trap side-exits first). It
+   is therefore re-evaluated at every cache-line transition rather
+   than every fetch: within one line of one block the answer is
+   provably the entry answer. The per-memory-op epoch guard
+   ([sb_data_paddr]) backstops the same inputs independently. *)
+let sb_fetch_ok t (core : core) ctx ~paddr ~line =
+  ctx.sx_line = line || t.phys_check ~core ~access:Trap.Execute ~paddr
+
+(* Per-instruction fetch commit: TLB note (paging), cache charge
+   (batched per line) and the dispatch cycle — the deferred image of
+   what [step] pays per fetch. *)
+let sb_account_fetch t (core : core) ctx ~paddr ~line =
+  if ctx.sx_line = line then begin
+    ctx.sx_line_rep <- ctx.sx_line_rep + 1;
+    ctx.sx_cycles <- ctx.sx_cycles + ctx.sx_hit_plus1
+  end
+  else sb_fetch_transition t core ctx ~paddr ~line;
+  if ctx.sx_paging then begin
+    ctx.sx_fetch_notes <- ctx.sx_fetch_notes + 1;
+    ctx.sx_tlb_ctr <- ctx.sx_tlb_ctr + 1
+  end
+
+(* Data-access guard phase: every check the stepped path would make,
+   evaluated without mutating anything. Returns the physical address,
+   or -1 to side-exit — any op that would trap (bad virtual address,
+   TLB miss or permission denial, bounds, ownership denial), would
+   split across a page boundary, or would need an ECC scrub is left
+   entirely to the stepped path, before a single byte moves. On
+   success with paging on, [sx_dslot] holds the TLB slot for the
+   commit. *)
+let sb_data_paddr t (core : core) ctx ~access ~vaddr ~size =
+  let va = Int64.to_int vaddr in
+  if
+    (va land page_mask) + size > Phys_mem.page_size
+    || va < 0
+    || Int64.compare vaddr sb_va_limit >= 0
+    || Phys_mem.pending_faults t.mem > 0
+    || t.phys_epoch <> ctx.sx_epoch
+    || Tlb.generation core.tlb <> ctx.sx_gen
+    || core.timer_cmp <> None
+    || (not (Queue.is_empty core.pending_interrupts))
+    || t.fault_hooks <> None
+  then -1
+  else begin
+    let paddr =
+      if not ctx.sx_paging then va
+      else begin
+        let slot = Tlb.probe core.tlb ~vpn:(va lsr page_shift) in
+        if slot < 0 then -1
+        else if not (tlb_perms_allow (Tlb.slot_perms core.tlb slot) access)
+        then -1
+        else begin
+          ctx.sx_dslot <- slot;
+          Phys_mem.page_base (Tlb.slot_ppn core.tlb slot) lor (va land page_mask)
+        end
+      end
+    in
+    if
+      paddr < 0
+      || paddr + 8 > Phys_mem.size t.mem
+      || not (t.phys_check ~core ~access ~paddr)
+    then -1
+    else paddr
+  end
+
+(* Data-access commit: the mutating half in [step]'s order — data TLB
+   hit, then the cache charge, flushing the fetch batch first so
+   cache-model ticks interleave exactly as stepped. *)
+let sb_commit_data t (core : core) ctx ~paddr =
+  if ctx.sx_paging then begin
+    Tlb.commit_hit core.tlb ctx.sx_dslot;
+    ctx.sx_tlb_ctr <- ctx.sx_tlb_ctr + 1
+  end;
+  sb_flush_line core ctx;
+  let cost =
+    if Cache.access_hit core.l1 ~paddr then begin
+      ctx.sx_l1h <- ctx.sx_l1h + 1;
+      t.cfg.l1.Cache.hit_cycles
+    end
+    else begin
+      let l2_hit = Cache.access_hit t.l2 ~paddr in
+      ctx.sx_l1m <- ctx.sx_l1m + 1;
+      if l2_hit then ctx.sx_l2h <- ctx.sx_l2h + 1
+      else ctx.sx_l2m <- ctx.sx_l2m + 1;
+      t.cfg.l1.Cache.miss_cycles
+      + if l2_hit then t.cfg.l2.Cache.hit_cycles else t.cfg.l2.Cache.miss_cycles
+    end
+  in
+  ctx.sx_cycles <- ctx.sx_cycles + cost
+
+(* Retire and fall through; past the last slot the block exits at the
+   first PC of the next page. *)
+let sb_retire_continue ctx fall =
+  ctx.sx_instret <- ctx.sx_instret + 1;
+  ctx.sx_fuel <- ctx.sx_fuel - 1;
+  if fall >= 0 then fall
+  else begin
+    ctx.sx_exit_pc <- Int64.add ctx.sx_vbase sb_page_size64;
+    -1
+  end
+
+let sb_alu_fn (op : Isa.alu_op) : int64 -> int64 -> int64 =
+  match op with
+  | Add -> Int64.add
+  | Sub -> Int64.sub
+  | Sll -> fun a b -> Int64.shift_left a (Int64.to_int b land 63)
+  | Slt -> fun a b -> if Int64.compare a b < 0 then 1L else 0L
+  | Sltu -> fun a b -> if Int64.unsigned_compare a b < 0 then 1L else 0L
+  | Xor -> Int64.logxor
+  | Srl -> fun a b -> Int64.shift_right_logical a (Int64.to_int b land 63)
+  | Sra -> fun a b -> Int64.shift_right a (Int64.to_int b land 63)
+  | Or -> Int64.logor
+  | And -> Int64.logand
+
+let sb_branch_fn (op : Isa.branch_op) : int64 -> int64 -> bool =
+  match op with
+  | Beq -> Int64.equal
+  | Bne -> fun a b -> not (Int64.equal a b)
+  | Blt -> fun a b -> Int64.compare a b < 0
+  | Bge -> fun a b -> Int64.compare a b >= 0
+  | Bltu -> fun a b -> Int64.unsigned_compare a b < 0
+  | Bgeu -> fun a b -> Int64.unsigned_compare a b >= 0
+
+(* Compile one slot of a physical page into its closure. Everything
+   that depends only on the page and the decoded instruction — own
+   paddr, own cache line, fall-through and branch-target slots,
+   immediates, ALU/branch operators, load/store width accessors — is
+   bound at compile time; everything virtual comes from the entry-time
+   [sx_vbase], so one compiled page serves any mapping that reaches
+   it. *)
+let sb_compile t ~ppn ~slot =
+  let own_paddr = Phys_mem.page_base ppn lor (slot lsl 2) in
+  let own_line = own_paddr lsr t.l1_shift in
+  let fall = if slot + 1 < sb_slots then slot + 1 else -1 in
+  let off = slot lsl 2 in
+  match decode_at t own_paddr with
+  | Dempty -> assert false
+  | Dbad _ ->
+      (* stepped path re-decodes and traps with the exact raw word *)
+      sb_side_exit
+  | Dinstr instr -> (
+      match (instr : Isa.t) with
+      | Ecall | Ebreak ->
+          (* trap delivery never happens inside a block *)
+          sb_side_exit
+      | Op_imm (op, rd, rs1, imm) ->
+          let f = sb_alu_fn op and b = Int64.of_int imm in
+          fun ctx slot ->
+            let core = ctx.sx_core in
+            if not (sb_fetch_ok t core ctx ~paddr:own_paddr ~line:own_line)
+            then sb_side_exit ctx slot
+            else begin
+              sb_account_fetch t core ctx ~paddr:own_paddr ~line:own_line;
+              let a = if rs1 = 0 then 0L else Array.unsafe_get core.regs rs1 in
+              if rd <> 0 then Array.unsafe_set core.regs rd (f a b);
+              sb_retire_continue ctx fall
+            end
+      | Op (op, rd, rs1, rs2) ->
+          let f = sb_alu_fn op in
+          fun ctx slot ->
+            let core = ctx.sx_core in
+            if not (sb_fetch_ok t core ctx ~paddr:own_paddr ~line:own_line)
+            then sb_side_exit ctx slot
+            else begin
+              sb_account_fetch t core ctx ~paddr:own_paddr ~line:own_line;
+              let a = if rs1 = 0 then 0L else Array.unsafe_get core.regs rs1
+              and b = if rs2 = 0 then 0L else Array.unsafe_get core.regs rs2 in
+              if rd <> 0 then Array.unsafe_set core.regs rd (f a b);
+              sb_retire_continue ctx fall
+            end
+      | Mul (rd, rs1, rs2) ->
+          fun ctx slot ->
+            let core = ctx.sx_core in
+            if not (sb_fetch_ok t core ctx ~paddr:own_paddr ~line:own_line)
+            then sb_side_exit ctx slot
+            else begin
+              sb_account_fetch t core ctx ~paddr:own_paddr ~line:own_line;
+              let a = if rs1 = 0 then 0L else Array.unsafe_get core.regs rs1
+              and b = if rs2 = 0 then 0L else Array.unsafe_get core.regs rs2 in
+              if rd <> 0 then Array.unsafe_set core.regs rd (Int64.mul a b);
+              sb_retire_continue ctx fall
+            end
+      | Lui (rd, imm) ->
+          let v = Int64.shift_left (Int64.of_int imm) 12 in
+          fun ctx slot ->
+            let core = ctx.sx_core in
+            if not (sb_fetch_ok t core ctx ~paddr:own_paddr ~line:own_line)
+            then sb_side_exit ctx slot
+            else begin
+              sb_account_fetch t core ctx ~paddr:own_paddr ~line:own_line;
+              if rd <> 0 then Array.unsafe_set core.regs rd v;
+              sb_retire_continue ctx fall
+            end
+      | Auipc (rd, imm) ->
+          (* pc + (imm << 12) = sx_vbase + (off + (imm << 12)) *)
+          let addend = Int64.of_int ((imm lsl 12) + off) in
+          fun ctx slot ->
+            let core = ctx.sx_core in
+            if not (sb_fetch_ok t core ctx ~paddr:own_paddr ~line:own_line)
+            then sb_side_exit ctx slot
+            else begin
+              sb_account_fetch t core ctx ~paddr:own_paddr ~line:own_line;
+              if rd <> 0 then
+                Array.unsafe_set core.regs rd (Int64.add ctx.sx_vbase addend);
+              sb_retire_continue ctx fall
+            end
+      | Csr_read_cycle rd ->
+          fun ctx slot ->
+            let core = ctx.sx_core in
+            if not (sb_fetch_ok t core ctx ~paddr:own_paddr ~line:own_line)
+            then sb_side_exit ctx slot
+            else begin
+              sb_account_fetch t core ctx ~paddr:own_paddr ~line:own_line;
+              (* deferred cycles materialized: fetch + dispatch already
+                 accumulated, exactly [step]'s read point *)
+              if rd <> 0 then
+                Array.unsafe_set core.regs rd
+                  (Int64.of_int (core.cycles + ctx.sx_cycles));
+              sb_retire_continue ctx fall
+            end
+      | Fence ->
+          fun ctx slot ->
+            let core = ctx.sx_core in
+            if not (sb_fetch_ok t core ctx ~paddr:own_paddr ~line:own_line)
+            then sb_side_exit ctx slot
+            else begin
+              sb_account_fetch t core ctx ~paddr:own_paddr ~line:own_line;
+              sb_retire_continue ctx fall
+            end
+      | Jal (rd, joff) ->
+          let toff = off + joff in
+          let target_slot =
+            if toff >= 0 && toff < Phys_mem.page_size && toff land 3 = 0 then
+              toff lsr 2
+            else -1
+          in
+          let toff64 = Int64.of_int toff in
+          let link_off = Int64.of_int (off + 4) in
+          fun ctx slot ->
+            let core = ctx.sx_core in
+            if not (sb_fetch_ok t core ctx ~paddr:own_paddr ~line:own_line)
+            then sb_side_exit ctx slot
+            else begin
+              sb_account_fetch t core ctx ~paddr:own_paddr ~line:own_line;
+              if rd <> 0 then
+                Array.unsafe_set core.regs rd (Int64.add ctx.sx_vbase link_off);
+              ctx.sx_instret <- ctx.sx_instret + 1;
+              ctx.sx_fuel <- ctx.sx_fuel - 1;
+              if target_slot >= 0 then target_slot
+              else sb_exit_at ctx (Int64.add ctx.sx_vbase toff64)
+            end
+      | Jalr (rd, rs1, imm) ->
+          let imm64 = Int64.of_int imm in
+          let link_off = Int64.of_int (off + 4) in
+          fun ctx slot ->
+            let core = ctx.sx_core in
+            if not (sb_fetch_ok t core ctx ~paddr:own_paddr ~line:own_line)
+            then sb_side_exit ctx slot
+            else begin
+              sb_account_fetch t core ctx ~paddr:own_paddr ~line:own_line;
+              (* target before the link write: rd may alias rs1 *)
+              let target =
+                Int64.logand
+                  (Int64.add
+                     (if rs1 = 0 then 0L else Array.unsafe_get core.regs rs1)
+                     imm64)
+                  (Int64.lognot 1L)
+              in
+              if rd <> 0 then
+                Array.unsafe_set core.regs rd (Int64.add ctx.sx_vbase link_off);
+              ctx.sx_instret <- ctx.sx_instret + 1;
+              ctx.sx_fuel <- ctx.sx_fuel - 1;
+              sb_exit_at ctx target
+            end
+      | Branch (op, rs1, rs2, boff) ->
+          let f = sb_branch_fn op in
+          let toff = off + boff in
+          let target_slot =
+            if toff >= 0 && toff < Phys_mem.page_size && toff land 3 = 0 then
+              toff lsr 2
+            else -1
+          in
+          let toff64 = Int64.of_int toff in
+          fun ctx slot ->
+            let core = ctx.sx_core in
+            if not (sb_fetch_ok t core ctx ~paddr:own_paddr ~line:own_line)
+            then sb_side_exit ctx slot
+            else begin
+              sb_account_fetch t core ctx ~paddr:own_paddr ~line:own_line;
+              let a = if rs1 = 0 then 0L else Array.unsafe_get core.regs rs1
+              and b = if rs2 = 0 then 0L else Array.unsafe_get core.regs rs2 in
+              ctx.sx_instret <- ctx.sx_instret + 1;
+              ctx.sx_fuel <- ctx.sx_fuel - 1;
+              if f a b then
+                if target_slot >= 0 then target_slot
+                else sb_exit_at ctx (Int64.add ctx.sx_vbase toff64)
+              else if fall >= 0 then fall
+              else sb_exit_at ctx (Int64.add ctx.sx_vbase sb_page_size64)
+            end
+      | Load (lop, rd, rs1, imm) ->
+          let size =
+            match lop with
+            | Lb | Lbu -> 1
+            | Lh | Lhu -> 2
+            | Lw | Lwu -> 4
+            | Ld -> 8
+          in
+          let read : Phys_mem.t -> int -> int64 =
+            match lop with
+            | Lb ->
+                fun mem p ->
+                  Int64.of_int
+                    (Sanctorum_util.Bits.sign_extend (Phys_mem.read_u8 mem p)
+                       ~width:8)
+            | Lbu -> fun mem p -> Int64.of_int (Phys_mem.read_u8 mem p)
+            | Lh ->
+                fun mem p ->
+                  Int64.of_int
+                    (Sanctorum_util.Bits.sign_extend (Phys_mem.read_u16 mem p)
+                       ~width:16)
+            | Lhu -> fun mem p -> Int64.of_int (Phys_mem.read_u16 mem p)
+            | Lw -> fun mem p -> Int64.of_int32 (Phys_mem.read_u32 mem p)
+            | Lwu ->
+                fun mem p ->
+                  Int64.logand
+                    (Int64.of_int32 (Phys_mem.read_u32 mem p))
+                    0xffffffffL
+            | Ld -> Phys_mem.read_u64
+          in
+          let imm64 = Int64.of_int imm in
+          fun ctx slot ->
+            let core = ctx.sx_core in
+            if not (sb_fetch_ok t core ctx ~paddr:own_paddr ~line:own_line)
+            then sb_side_exit ctx slot
+            else begin
+              let vaddr =
+                Int64.add
+                  (if rs1 = 0 then 0L else Array.unsafe_get core.regs rs1)
+                  imm64
+              in
+              let dp =
+                sb_data_paddr t core ctx ~access:Trap.Read ~vaddr ~size
+              in
+              if dp < 0 then sb_side_exit ctx slot
+              else begin
+                sb_account_fetch t core ctx ~paddr:own_paddr ~line:own_line;
+                sb_commit_data t core ctx ~paddr:dp;
+                let v = read t.mem dp in
+                if rd <> 0 then Array.unsafe_set core.regs rd v;
+                sb_retire_continue ctx fall
+              end
+            end
+      | Store (sop, rs2, rs1, imm) ->
+          let size = match sop with Sb -> 1 | Sh -> 2 | Sw -> 4 | Sd -> 8 in
+          let write : Phys_mem.t -> int -> int64 -> unit =
+            match sop with
+            | Sb -> fun mem p v -> Phys_mem.write_u8 mem p (Int64.to_int v land 0xff)
+            | Sh ->
+                fun mem p v -> Phys_mem.write_u16 mem p (Int64.to_int v land 0xffff)
+            | Sw -> fun mem p v -> Phys_mem.write_u32 mem p (Int64.to_int32 v)
+            | Sd -> fun mem p v -> Phys_mem.write_u64 mem p v
+          in
+          let imm64 = Int64.of_int imm in
+          (* fall-through PC, also the resume PC when the store shoots
+             down its own page: off + 4 = page size on the last slot *)
+          let next_off64 = Int64.of_int (off + 4) in
+          fun ctx slot ->
+            let core = ctx.sx_core in
+            if not (sb_fetch_ok t core ctx ~paddr:own_paddr ~line:own_line)
+            then sb_side_exit ctx slot
+            else begin
+              let vaddr =
+                Int64.add
+                  (if rs1 = 0 then 0L else Array.unsafe_get core.regs rs1)
+                  imm64
+              in
+              let dp =
+                sb_data_paddr t core ctx ~access:Trap.Write ~vaddr ~size
+              in
+              if dp < 0 then sb_side_exit ctx slot
+              else begin
+                sb_account_fetch t core ctx ~paddr:own_paddr ~line:own_line;
+                sb_commit_data t core ctx ~paddr:dp;
+                write t.mem dp
+                  (if rs2 = 0 then 0L else Array.unsafe_get core.regs rs2);
+                ctx.sx_instret <- ctx.sx_instret + 1;
+                ctx.sx_fuel <- ctx.sx_fuel - 1;
+                (* the write hook may have shot down this very page:
+                   never run another (stale) closure from it *)
+                if fall >= 0 && ctx.sx_page.sb_alive then fall
+                else sb_exit_at ctx (Int64.add ctx.sx_vbase next_off64)
+              end
+            end)
+
+(* Lazily compiled page: every slot starts as a shared build closure
+   that compiles itself on first execution, replaces the slot, and
+   tail-runs the result. Invalidation drops the whole page. *)
+let sb_new_page t ppn =
+  let code = Array.make sb_slots sb_side_exit in
+  let page = { sb_code = code; sb_alive = true } in
+  let build ctx slot =
+    let f = sb_compile t ~ppn ~slot in
+    code.(slot) <- f;
+    f ctx slot
+  in
+  Array.fill code 0 sb_slots build;
+  page
+
+(* Superblock entry: same preconditions and same contract as
+   [exec_block] — returns instructions retired, 0 = stepped takeover.
+   Entry guards ride on [fast_fetch_paddr]: alignment, satp and TLB
+   generation, no pending ECC faults, bounds and the isolation check. *)
+let sb_exec t (core : core) ~fuel =
+  let fp0 = fast_fetch_paddr t core in
+  if fp0 < 0 then 0
+  else begin
+    let ppn = fp0 lsr page_shift in
+    let page =
+      match t.sb_pages.(ppn) with
+      | Some p -> p
+      | None ->
+          let p = sb_new_page t ppn in
+          t.sb_pages.(ppn) <- Some p;
+          p
+    in
+    let ctx = t.sb_ctxs.(core.id) in
+    ctx.sx_page <- page;
+    ctx.sx_paging <- t.fetch.(core.id).f_satp >= 0;
+    ctx.sx_vbase <- Int64.sub core.pc (Int64.of_int (fp0 land page_mask));
+    ctx.sx_epoch <- t.phys_epoch;
+    ctx.sx_gen <- Tlb.generation core.tlb;
+    ctx.sx_fuel <- fuel;
+    ctx.sx_exit_pc <- core.pc;
+    ctx.sx_cycles <- 0;
+    ctx.sx_instret <- 0;
+    ctx.sx_fetch_notes <- 0;
+    ctx.sx_tlb_ctr <- 0;
+    ctx.sx_l1h <- 0;
+    ctx.sx_l1m <- 0;
+    ctx.sx_l2h <- 0;
+    ctx.sx_l2m <- 0;
+    ctx.sx_line <- -1;
+    ctx.sx_line_rep <- 0;
+    ctx.sx_side_exit <- false;
+    let code = page.sb_code in
+    let slot = ref ((fp0 land page_mask) lsr 2) in
+    let running = ref true in
+    while !running do
+      if ctx.sx_fuel <= 0 then begin
+        ctx.sx_exit_pc <- Int64.add ctx.sx_vbase (Int64.of_int (!slot lsl 2));
+        running := false
+      end
+      else begin
+        let next = (Array.unsafe_get code !slot) ctx !slot in
+        if next >= 0 then slot := next else running := false
+      end
+    done;
+    sb_flush_line core ctx;
+    core.pc <- ctx.sx_exit_pc;
+    core.cycles <- core.cycles + ctx.sx_cycles;
+    core.instret <- core.instret + ctx.sx_instret;
+    if ctx.sx_fetch_notes > 0 then Tlb.note_hits core.tlb ctx.sx_fetch_notes;
+    (match t.ctrs with
+    | Some c ->
+        if ctx.sx_instret > 0 then begin
+          Tel.Metrics.add c.c_instret ctx.sx_instret;
+          Tel.Metrics.incr c.c_sb_blocks;
+          Tel.Metrics.add c.c_sb_instret ctx.sx_instret
+        end;
+        if ctx.sx_tlb_ctr > 0 then Tel.Metrics.add c.c_tlb_hits ctx.sx_tlb_ctr;
+        if ctx.sx_l1h > 0 then Tel.Metrics.add c.c_l1_hits ctx.sx_l1h;
+        if ctx.sx_l1m > 0 then Tel.Metrics.add c.c_l1_misses ctx.sx_l1m;
+        if ctx.sx_l2h > 0 then Tel.Metrics.add c.c_l2_hits ctx.sx_l2h;
+        if ctx.sx_l2m > 0 then Tel.Metrics.add c.c_l2_misses ctx.sx_l2m;
+        if ctx.sx_side_exit then Tel.Metrics.incr c.c_sb_side_exits
+    | None -> ());
+    ctx.sx_instret
+  end
+
 let run t ~core ~fuel =
   let c = t.cores.(core) in
   let start = c.instret in
@@ -913,7 +1592,10 @@ let run t ~core ~fuel =
        && c.timer_cmp = None
        && Queue.is_empty c.pending_interrupts
      then begin
-       let n = exec_block t c ~fuel:!budget in
+       let n =
+         if t.superblock then sb_exec t c ~fuel:!budget
+         else exec_block t c ~fuel:!budget
+       in
        if n = 0 then step t c
      end
      else step t c);

@@ -85,10 +85,22 @@ val set_phys_check :
     must be pure: the fetch fast path re-evaluates it on every fetch
     (it is the one translation input with no change counter — Keystone
     reprograms PMP without a TLB flush) and a fast-path miss evaluates
-    it a second time on the slow path. *)
+    it a second time on the slow path. Installing a check bumps the
+    protection epoch (see {!note_protection_change}); backends that
+    later mutate the state the installed check reads — reprogram PMP,
+    reassign an ownership range, switch a core's domain — must call
+    {!note_protection_change} after each such change. *)
 
 val set_pte_fetch_check : t -> (core:core -> paddr:int -> bool) -> unit
 (** The Sanctum page-walk invariant: approve each PTE fetch address. *)
+
+val note_protection_change : t -> unit
+(** Record that the state behind the installed physical-isolation check
+    changed (PMP reprogrammed, ownership range reassigned, domain
+    switched). Bumps the protection epoch that superblocks snapshot at
+    entry and re-check at every memory operation, so a block can never
+    complete a load or store against a stale protection decision.
+    Cheap (one increment); calling it conservatively is always safe. *)
 
 val set_dma_check : t -> (paddr:int -> len:int -> bool) -> unit
 
@@ -157,6 +169,24 @@ val set_fast_path : t -> bool -> unit
     gap, the qcheck property proves the equivalence). *)
 
 val fast_path : t -> bool
+
+val set_superblock : t -> bool -> unit
+(** Enable (default) or disable the superblock execution tier on top of
+    the fast path: straight-line runs — including loads and stores —
+    pre-translated into per-physical-page arrays of pre-bound closures,
+    built lazily from the predecode cache. Guards at block entry and at
+    every memory operation (protection epoch, TLB generation, satp,
+    pending ECC faults, interrupt/timer/fault-hook state) side-exit to
+    the stepped path with architectural state bit-identical to never
+    having entered the block; any operation that would trap, split
+    across a page boundary, or need an ECC scrub side-exits before a
+    byte moves. Accounting is deferred but exact: cycles, instret,
+    TLB and cache statistics, and telemetry match the stepped path
+    bit-for-bit (only the host-side [hw.sb.*] diagnostic counters
+    differ across tiers). The tier only runs when {!set_fast_path} is
+    enabled; disabling drops every compiled page. *)
+
+val superblock : t -> bool
 
 val inject_bit_flip : t -> paddr:int -> bit:int -> unit
 (** {!Phys_mem.inject_bit_flip} on this machine's memory, via the

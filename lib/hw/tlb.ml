@@ -64,6 +64,19 @@ let lookup t ~vpn =
   if i < 0 then None else Some (t.entries.(i).ppn, t.entries.(i).perms)
 
 let note_hit t = t.hits <- t.hits + 1
+let note_hits t n = t.hits <- t.hits + n
+
+(* Pure lookup for the superblock tier: same slot [find] would return,
+   but no statistics and no MRU promotion, so a side exit that replays
+   the access on the stepped path observes an untouched TLB. *)
+let probe t ~vpn =
+  let m = t.entries.(t.mru) in
+  if m.valid && m.vpn = vpn then t.mru
+  else scan t.entries vpn 0 (Array.length t.entries)
+
+let commit_hit t i =
+  t.hits <- t.hits + 1;
+  t.mru <- i
 
 let insert t ~vpn ~ppn ~perms =
   t.gen <- t.gen + 1;

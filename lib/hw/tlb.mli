@@ -31,6 +31,23 @@ val note_hit : t -> unit
     from a snapshot of this TLB: the slow path would have hit, so the
     statistics must say so. *)
 
+val note_hits : t -> int -> unit
+(** [note_hits t n] accounts [n] hits at once — the superblock tier
+    defers its per-fetch {!note_hit}s to one flush at block exit.
+    Equivalent to calling {!note_hit} [n] times. *)
+
+val probe : t -> vpn:int -> int
+(** Pure {!find}: the slot index holding [vpn], or [-1] — but with no
+    statistics and no MRU promotion. The superblock tier probes before
+    committing to an access; pairing a successful probe with
+    {!commit_hit} is observably identical to one {!find}, while a
+    failed probe leaves the TLB untouched for the stepped replay. *)
+
+val commit_hit : t -> int -> unit
+(** [commit_hit t slot] performs the mutating half of a hit on [slot]:
+    one hit counted and the slot promoted to the MRU probe position.
+    [probe] + [commit_hit] = [find] on the hit path. *)
+
 val insert : t -> vpn:int -> ppn:int -> perms:perms -> unit
 
 val generation : t -> int

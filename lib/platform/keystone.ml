@@ -91,6 +91,7 @@ let create machine =
       Array.iter
         (fun (c : Hw.Machine.core) -> program_pmp c c.Hw.Machine.domain)
         (Hw.Machine.cores machine);
+      Hw.Machine.note_protection_change machine;
       Ok ()
     end
   in
@@ -112,6 +113,7 @@ let create machine =
     Hw.Tlb.flush core.Hw.Machine.tlb;
     program_pmp core domain;
     core.Hw.Machine.domain <- domain;
+    Hw.Machine.note_protection_change machine;
     let sink = Hw.Machine.sink machine in
     if Tel.Sink.enabled sink then begin
       let id = core.Hw.Machine.id and cycles = core.Hw.Machine.cycles in

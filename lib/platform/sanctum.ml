@@ -62,6 +62,7 @@ let create ?(region_count = default_region_count) machine =
     else if hi > mem_bytes then Error "sanctum: range beyond physical memory"
     else begin
       Owner_map.set_range owners ~lo ~hi domain;
+      Hw.Machine.note_protection_change machine;
       Ok ()
     end
   in
@@ -90,6 +91,7 @@ let create ?(region_count = default_region_count) machine =
     Hw.Cache.flush_all core.Hw.Machine.l1;
     Hw.Tlb.flush core.Hw.Machine.tlb;
     core.Hw.Machine.domain <- domain;
+    Hw.Machine.note_protection_change machine;
     let sink = Hw.Machine.sink machine in
     if Tel.Sink.enabled sink then begin
       let id = core.Hw.Machine.id and cycles = core.Hw.Machine.cycles in

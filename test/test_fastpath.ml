@@ -11,6 +11,7 @@
 
 module Hw = Sanctorum_hw
 module Tel = Sanctorum_telemetry
+module Pf = Sanctorum_platform
 module Img = Sanctorum.Image
 open Sanctorum_os
 
@@ -343,19 +344,31 @@ let apply_event m ~code_base ~data_base ev =
 (* How to drive the machine: [Stepwise] calls [Machine.step] directly
    (events land between arbitrary single steps); [Chunked] calls
    [Machine.run] with a cycled list of small fuel slices (events land
-   at chunk boundaries), which exercises the block executor inside
-   [run]. Both machines of a differential pair use the same drive, so
-   injection points are architecturally identical. *)
+   at chunk boundaries), which exercises the block executor and the
+   superblock tier inside [run]. All machines of a differential group
+   use the same drive, so injection points are architecturally
+   identical. *)
 type drive = Stepwise | Chunked of int list
 
+(* The three execution tiers under differential test. [Super] is the
+   default configuration (fast path + superblock); [Fast] is the PR4
+   configuration (fast path, block executor, superblock off); [Slow]
+   is the seed pipeline. *)
+type tier = Slow | Fast | Super
+
+let set_tier m = function
+  | Slow -> Hw.Machine.set_fast_path m false
+  | Fast -> Hw.Machine.set_superblock m false
+  | Super -> ()
+
 (* Run one machine to completion (or the step cap) and snapshot every
-   piece of architectural state the fast path could disturb. *)
-let run_one ~fast ~drive ~mode ~ops ~events ~raws =
+   piece of architectural state the fast tiers could disturb. *)
+let run_one ~tier ~drive ~mode ~ops ~events ~raws =
   let m =
     Hw.Machine.create
       { Hw.Machine.default_config with cores = 1; mem_bytes = 1024 * 1024 }
   in
-  Hw.Machine.set_fast_path m fast;
+  set_tier m tier;
   let traps = ref [] in
   Hw.Machine.set_trap_handler m (fun _ c cause ->
       traps := Format.asprintf "%a" Hw.Trap.pp_cause cause :: !traps;
@@ -490,13 +503,11 @@ let case_gen =
     (list_size (int_range 0 6) (pair (int_bound 400) event_gen))
     (list_size (int_range 0 3) (pair (int_bound 95) (int_bound 0x7FFFFFF)))
 
-let compare_pair ~drive (mode, ops, events, raws) =
-  let (i_a, c_a, pc_a, r_a, t_a, l1_a, l2_a, tr_a, p_a) =
-    run_one ~fast:true ~drive ~mode ~ops ~events ~raws
-  and (i_b, c_b, pc_b, r_b, t_b, l1_b, l2_b, tr_b, p_b) =
-    run_one ~fast:false ~drive ~mode ~ops ~events ~raws
-  in
-  let fail what = QCheck2.Test.fail_reportf "fast/slow diverge on %s" what in
+(* Compare two tier snapshots field by field; [label] names the pair
+   so a failure pins which tier diverged from which. *)
+let snapshots_agree ~label (i_a, c_a, pc_a, r_a, t_a, l1_a, l2_a, tr_a, p_a)
+    (i_b, c_b, pc_b, r_b, t_b, l1_b, l2_b, tr_b, p_b) =
+  let fail what = QCheck2.Test.fail_reportf "%s diverge on %s" label what in
   if i_a <> i_b then fail (Printf.sprintf "instret (%d vs %d)" i_a i_b)
   else if c_a <> c_b then fail (Printf.sprintf "cycles (%d vs %d)" c_a c_b)
   else if pc_a <> pc_b then fail (Printf.sprintf "pc (0x%Lx vs 0x%Lx)" pc_a pc_b)
@@ -505,7 +516,10 @@ let compare_pair ~drive (mode, ops, events, raws) =
     fail
       (Printf.sprintf "TLB stats (%d,%d vs %d,%d)" (fst t_a) (snd t_a)
          (fst t_b) (snd t_b))
-  else if l1_a <> l1_b then fail "L1 stats"
+  else if l1_a <> l1_b then
+    fail
+      (Printf.sprintf "L1 stats (%d,%d vs %d,%d)" (fst l1_a) (snd l1_a)
+         (fst l1_b) (snd l1_b))
   else if l2_a <> l2_b then fail "L2 stats"
   else if tr_a <> tr_b then
     fail
@@ -515,12 +529,38 @@ let compare_pair ~drive (mode, ops, events, raws) =
   else if p_a <> p_b then fail "pending fault count"
   else true
 
+(* The PR4 pairing: the default configuration against the seed
+   pipeline ("fast path on/off" — on means everything the simulator
+   enables by default, today fast path + superblock). *)
+let compare_pair ~drive (mode, ops, events, raws) =
+  let a = run_one ~tier:Super ~drive ~mode ~ops ~events ~raws
+  and b = run_one ~tier:Slow ~drive ~mode ~ops ~events ~raws in
+  snapshots_agree ~label:"fast/slow" a b
+
+(* All three tiers on the same case, compared pairwise so a failure
+   attributes the divergence: superblock-vs-fast isolates the
+   superblock engine, fast-vs-stepped isolates the block executor. *)
+let compare_tiers ~drive (mode, ops, events, raws) =
+  let sup = run_one ~tier:Super ~drive ~mode ~ops ~events ~raws
+  and fast = run_one ~tier:Fast ~drive ~mode ~ops ~events ~raws
+  and slow = run_one ~tier:Slow ~drive ~mode ~ops ~events ~raws in
+  snapshots_agree ~label:"superblock/fast" sup fast
+  && snapshots_agree ~label:"fast/stepped" fast slow
+
+(* Trial counts scale with SANCTORUM_QCHECK_COUNT for the deep sweep
+   (the bugfix hunt runs thousands of cases per property); the default
+   keeps `dune runtest` quick. *)
+let qcount default =
+  match Sys.getenv_opt "SANCTORUM_QCHECK_COUNT" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
 let prop_differential =
   QCheck2.Test.make
     ~name:
       "differential: fast path on/off — identical instret, cycles, regs, \
        TLB/cache stats, traps"
-    ~count:60 case_gen
+    ~count:(qcount 60) case_gen
     (compare_pair ~drive:Stepwise)
 
 (* Same property through [Machine.run]: covers the block executor,
@@ -528,10 +568,25 @@ let prop_differential =
 let prop_differential_run =
   QCheck2.Test.make
     ~name:"differential: fast path on/off under block execution (run-driven)"
-    ~count:40
+    ~count:(qcount 40)
     QCheck2.Gen.(
       pair case_gen (list_size (int_range 1 8) (int_bound 62)))
     (fun (case, chunks) -> compare_pair ~drive:(Chunked chunks) case)
+
+(* The superblock differential: all three tiers pairwise on the same
+   random program, driven through [Machine.run] (the only entry point
+   where the superblock engine engages), with loads, stores,
+   page-crossing accesses, self-modifying stores, DMA overwrites,
+   ECC flips and interrupts landing at chunk boundaries. *)
+let prop_differential_superblock =
+  QCheck2.Test.make
+    ~name:
+      "differential: superblock vs block vs stepped tiers — bit-identical \
+       state (run-driven)"
+    ~count:(qcount 40)
+    QCheck2.Gen.(
+      pair case_gen (list_size (int_range 1 8) (int_bound 62)))
+    (fun (case, chunks) -> compare_tiers ~drive:(Chunked chunks) case)
 
 (* ------------------------------------------------------------------ *)
 (* Pinned regressions for the ISA/MMU edge cases. *)
@@ -685,6 +740,249 @@ let test_differential_full_stack () =
   check_bool "L1 stats agree" true (l1_a = l1_b);
   check_bool "L2 stats agree" true (l2_a = l2_b)
 
+(* ------------------------------------------------------------------ *)
+(* Superblock-tier pinned regressions. *)
+
+let is_sb_counter name =
+  String.length name >= 6 && String.sub name 0 6 = "hw.sb."
+
+(* Every registered counter except the host-side hw.sb.* diagnostics,
+   which are the one family allowed to differ across tiers. *)
+let counter_snapshot metrics =
+  List.filter_map
+    (fun (name, item) ->
+      match item with
+      | Tel.Metrics.Counter c when not (is_sb_counter name) ->
+          Some (name, Tel.Metrics.value c)
+      | _ -> None)
+    (Tel.Metrics.to_list metrics)
+
+let sb_instret_of metrics =
+  match Tel.Metrics.find metrics "hw.sb.instret" with
+  | Some (Tel.Metrics.Counter c) -> Tel.Metrics.value c
+  | _ -> 0
+
+(* The differential harness never arms a telemetry sink, so counter
+   parity across tiers was unobserved: a tier could batch a TLB or
+   cache counter wrong and still pass every qcheck property. Run one
+   memory-heavy paged loop under all three tiers with a live metrics
+   registry and demand the whole counter table — and the raw
+   TLB/cache/cycles/instret state — agree bit-for-bit; hw.sb.instret
+   must be live under the superblock tier, proving it engaged. *)
+let test_tier_metrics_exact () =
+  let run_with tier =
+    let metrics = Tel.Metrics.create () in
+    let sink = Tel.Sink.create ~metrics () in
+    let m, _last, root = paged_machine () in
+    Hw.Machine.set_sink m sink;
+    set_tier m tier;
+    let open Hw.Isa in
+    let prog =
+      li t0 40 @ li t1 0x20000
+      @ [
+          Op_imm (Add, t2, zero, 0);
+          Store (Sd, t2, t1, 8);
+          Load (Ld, a0, t1, 8);
+          Load (Lw, a1, t1, 0x7f8);
+          Op_imm (Add, t2, t2, 1);
+          Branch (Bne, t2, t0, -16);
+          Ecall;
+        ]
+    in
+    let c = run_paged m root prog in
+    ( counter_snapshot metrics,
+      sb_instret_of metrics,
+      c.Hw.Machine.instret,
+      c.Hw.Machine.cycles,
+      Hw.Tlb.stats c.Hw.Machine.tlb,
+      Hw.Cache.stats c.Hw.Machine.l1,
+      Hw.Cache.stats (Hw.Machine.l2 m) )
+  in
+  let m_s, sb_s, i_s, c_s, t_s, l1_s, l2_s = run_with Super in
+  let m_f, sb_f, i_f, c_f, t_f, l1_f, l2_f = run_with Fast in
+  let m_l, sb_l, i_l, c_l, t_l, l1_l, l2_l = run_with Slow in
+  check_bool "superblock tier engaged" true (sb_s > 0);
+  check_int "fast tier ran no superblocks" 0 sb_f;
+  check_int "slow tier ran no superblocks" 0 sb_l;
+  check_bool "metrics table agrees (super vs fast)" true (m_s = m_f);
+  check_bool "metrics table agrees (super vs slow)" true (m_s = m_l);
+  check_int "instret agrees (fast)" i_s i_f;
+  check_int "instret agrees (slow)" i_s i_l;
+  check_int "cycles agree (fast)" c_s c_f;
+  check_int "cycles agree (slow)" c_s c_l;
+  check_bool "TLB stats agree" true (t_s = t_f && t_s = t_l);
+  check_bool "L1 stats agree" true (l1_s = l1_f && l1_s = l1_l);
+  check_bool "L2 stats agree" true (l2_s = l2_f && l2_s = l2_l)
+
+(* A store that straddles a page boundary mid-superblock must
+   side-exit *before any byte moves*. Two cases in one program: a
+   straddle across two mapped, non-adjacent frames (the stepped path
+   stitches it) and a straddle whose second page is unmapped (faults
+   whole). Every tier must leave both frames, the registers and the
+   trap bit-identical. *)
+let test_superblock_split_store () =
+  let run_with tier =
+    let m, last, root = paged_machine () in
+    set_tier m tier;
+    let mem = Hw.Machine.mem m in
+    Hw.Phys_mem.write_u32 mem 0x20ff8 0xaaaa5555l;
+    Hw.Phys_mem.write_u32 mem 0x60000 0x77777777l;
+    Hw.Phys_mem.write_u32 mem 0x60ff8 0x5a5a5a5al;
+    Hw.Phys_mem.write_u32 mem 0x60ffc 0xa5a5a5a5l;
+    let open Hw.Isa in
+    let prog =
+      li t1 0x21000 @ li s0 0x22000 @ li t2 0x11223344
+      @ [
+          Op_imm (Add, a0, zero, 7);
+          Op_imm (Add, a0, a0, 8);
+          Store (Sd, t2, t1, -4) (* 0x20ffc: frames 0x20 / 0x60 *);
+          Op_imm (Add, a0, a0, 16);
+          Store (Sd, t2, s0, -4) (* 0x21ffc: second half unmapped *);
+          Ecall;
+        ]
+    in
+    let c = run_paged m root prog in
+    ( Hw.Machine.read_reg c Hw.Isa.a0,
+      Hw.Phys_mem.read_u32 mem 0x20ff8,
+      Hw.Phys_mem.read_u32 mem 0x20ffc,
+      Hw.Phys_mem.read_u32 mem 0x60000,
+      Hw.Phys_mem.read_u32 mem 0x60ff8,
+      Hw.Phys_mem.read_u32 mem 0x60ffc,
+      !last )
+  in
+  let sup = run_with Super
+  and fast = run_with Fast
+  and slow = run_with Slow in
+  check_bool "tiers agree (super vs fast)" true (sup = fast);
+  check_bool "tiers agree (super vs slow)" true (sup = slow);
+  let a0, before, lo, hi, keep, partial, trap = sup in
+  check_i64 "ALU state at the fault" 31L a0;
+  check_bool "mapped straddle stitched across frames" true
+    (lo = 0x11223344l && hi = 0l);
+  check_bool "neighbour words untouched" true
+    (before = 0xaaaa5555l && keep = 0x5a5a5a5al);
+  check_bool "no partial byte written by the faulting straddle" true
+    (partial = 0xa5a5a5a5l);
+  match trap with
+  | Some (Hw.Trap.Exception (Hw.Trap.Page_fault (Hw.Trap.Write, 0x22000L))) ->
+      ()
+  | Some c ->
+      Alcotest.failf "unexpected trap: %s"
+        (Format.asprintf "%a" Hw.Trap.pp_cause c)
+  | None -> Alcotest.fail "expected a write page fault at 0x22000"
+
+(* Full-stack SMC: an enclave whose store dirties its *own* code page
+   while a superblock on that page is running. The patched instruction
+   (a jal) is the only exit from the loop, so a clean [Exited] outcome
+   proves the fresh bytes ran — a stale compiled closure would spin
+   until the fuel budget dies. On both platform backends, all tiers
+   bit-identical. *)
+let smc_own_page_image () =
+  let open Hw.Isa in
+  let evbase = 0x10000 in
+  let page = Hw.Phys_mem.page_size in
+  let enc_jal = Int32.to_int (encode (Jal (zero, 12))) in
+  let prefix = li t1 enc_jal @ li t0 evbase in
+  let p = List.length prefix in
+  let program =
+    prefix
+    @ [
+        Op_imm (Add, a0, a0, 1) (* slot p: patched to jal +12 below *);
+        Store (Sw, t1, t0, 4 * p) (* dirty own page, mid-superblock *);
+        Jal (zero, -8) (* back to the (now patched) slot *);
+        Op_imm (Add, a7, zero, 1);
+        Ecall;
+      ]
+  in
+  Img.make ~evbase ~evsize:(2 * page)
+    ~threads:
+      [ (Int64.of_int evbase, Int64.of_int (evbase + (2 * page) - 16)) ]
+    [
+      {
+        Img.vaddr = evbase;
+        r = true;
+        w = true;
+        x = true;
+        contents = encode_program program;
+      };
+      { Img.vaddr = evbase + page; r = true; w = true; x = false; contents = "" };
+    ]
+
+let test_superblock_smc_own_page backend () =
+  let run_with tier =
+    let tb = Testbed.create ~backend ~seed:"sb-smc" () in
+    set_tier tb.Testbed.machine tier;
+    let inst =
+      Result.get_ok (Os.install_enclave tb.Testbed.os (smc_own_page_image ()))
+    in
+    let outcome =
+      Os.run_enclave tb.Testbed.os ~eid:inst.Os.eid
+        ~tid:(List.hd inst.Os.tids) ~core:0 ~fuel:10_000 ()
+    in
+    let c = Hw.Machine.core tb.Testbed.machine 0 in
+    ( (match outcome with Ok o -> Some o | Error _ -> None),
+      c.Hw.Machine.instret,
+      c.Hw.Machine.cycles,
+      Hw.Tlb.stats c.Hw.Machine.tlb,
+      Hw.Cache.stats c.Hw.Machine.l1,
+      Hw.Cache.stats (Hw.Machine.l2 tb.Testbed.machine) )
+  in
+  let sup = run_with Super
+  and fast = run_with Fast
+  and slow = run_with Slow in
+  let o, _, _, _, _, _ = sup in
+  check_bool "patched instruction executed (clean exit)" true
+    (o = Some Os.Exited);
+  check_bool "tiers agree (super vs fast)" true (sup = fast);
+  check_bool "tiers agree (super vs slow)" true (sup = slow)
+
+(* The DMA variant: a device overwrites an instruction of a code page
+   whose superblock is already compiled (a previous run executed it).
+   The next run must execute the new bytes under every tier. Runs bare
+   in the untrusted domain on both backends, so the write crosses the
+   backend's dma_check and the invalidation hook. *)
+let test_superblock_dma_overwrite backend () =
+  let code_paddr = 0x300000 in
+  let run_with tier =
+    let tb = Testbed.create ~backend ~seed:"sb-dma" () in
+    let m = tb.Testbed.machine in
+    set_tier m tier;
+    let c = Hw.Machine.core m 0 in
+    (* Program PMP / flush for bare untrusted execution (Keystone cores
+       boot with no background allow entry). *)
+    tb.Testbed.platform.Pf.Platform.enter_domain ~core:c
+      Hw.Trap.domain_untrusted;
+    let open Hw.Isa in
+    let write_prog v =
+      match
+        Hw.Machine.dma_write m ~paddr:code_paddr
+          (encode_program [ Op_imm (Add, a0, zero, v); Jal (zero, 0) ])
+      with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "dma_write into untrusted memory refused"
+    in
+    let spin () =
+      c.Hw.Machine.pc <- Int64.of_int code_paddr;
+      Hw.Machine.write_reg c Hw.Isa.a0 0L;
+      ignore (Hw.Machine.run m ~core:0 ~fuel:50);
+      Hw.Machine.read_reg c Hw.Isa.a0
+    in
+    write_prog 5;
+    let first = spin () in
+    (* overwrite the already-compiled instruction behind the core's back *)
+    write_prog 55;
+    let second = spin () in
+    (first, second, c.Hw.Machine.instret, c.Hw.Machine.cycles)
+  in
+  let sup = run_with Super
+  and fast = run_with Fast
+  and slow = run_with Slow in
+  let first, second, _, _ = sup in
+  check_i64 "original bytes executed" 5L first;
+  check_i64 "DMA-overwritten bytes executed (no stale closure)" 55L second;
+  check_bool "tiers agree (super vs fast)" true (sup = fast);
+  check_bool "tiers agree (super vs slow)" true (sup = slow)
+
 let suite =
   ( "fastpath",
     [
@@ -714,6 +1012,23 @@ let suite =
         `Quick test_split_store_unmapped;
       Alcotest.test_case "differential: full stack enclave run" `Quick
         test_differential_full_stack;
+      Alcotest.test_case "superblock: counters exact across tiers (armed sink)"
+        `Quick test_tier_metrics_exact;
+      Alcotest.test_case "superblock: page-crossing store side-exits whole"
+        `Quick test_superblock_split_store;
+      Alcotest.test_case "superblock: smc store dirties own page (sanctum)"
+        `Quick
+        (test_superblock_smc_own_page Testbed.Sanctum_backend);
+      Alcotest.test_case "superblock: smc store dirties own page (keystone)"
+        `Quick
+        (test_superblock_smc_own_page Testbed.Keystone_backend);
+      Alcotest.test_case "superblock: DMA overwrite drops compiled page \
+                          (sanctum)" `Quick
+        (test_superblock_dma_overwrite Testbed.Sanctum_backend);
+      Alcotest.test_case "superblock: DMA overwrite drops compiled page \
+                          (keystone)" `Quick
+        (test_superblock_dma_overwrite Testbed.Keystone_backend);
       QCheck_alcotest.to_alcotest prop_differential;
       QCheck_alcotest.to_alcotest prop_differential_run;
+      QCheck_alcotest.to_alcotest prop_differential_superblock;
     ] )
